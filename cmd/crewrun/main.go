@@ -1,0 +1,198 @@
+// Command crewrun compiles a LAWS specification and runs one instance of a
+// workflow on the chosen control architecture, printing the execution trace
+// and the final data table. Step programs are synthesized: every program
+// succeeds and produces its declared outputs (numbers derived from the
+// inputs), and -fail can inject a one-time failure at a named step to watch
+// the failure-handling machinery (rollback, OCR, compensation) at work.
+//
+// Usage:
+//
+//	crewrun [-arch central|parallel|distributed] [-wf Name] [-input I1=90 -input I2=Blower]
+//	        [-fail Step] [-trace] file.laws
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crew"
+	"crew/internal/transport"
+)
+
+type inputList map[string]crew.Value
+
+func (m inputList) String() string { return fmt.Sprintf("%v", map[string]crew.Value(m)) }
+
+func (m inputList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("inputs are NAME=VALUE, got %q", s)
+	}
+	if f, err := strconv.ParseFloat(val, 64); err == nil {
+		m[name] = crew.Num(f)
+	} else if val == "true" || val == "false" {
+		m[name] = crew.Bool(val == "true")
+	} else {
+		m[name] = crew.Str(val)
+	}
+	return nil
+}
+
+func main() {
+	archName := flag.String("arch", "distributed", "central|parallel|distributed")
+	wfName := flag.String("wf", "", "workflow class to run (default: first in file)")
+	failStep := flag.String("fail", "", "inject a one-time failure at this step")
+	trace := flag.Bool("trace", false, "print every physical message")
+	timeout := flag.Duration("timeout", 30*time.Second, "run timeout")
+	inputs := inputList{}
+	flag.Var(inputs, "input", "workflow input NAME=VALUE (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crewrun [flags] file.laws")
+		os.Exit(2)
+	}
+
+	if err := run(*archName, *wfName, *failStep, *trace, *timeout, inputs, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "crewrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archName, wfName, failStep string, trace bool, timeout time.Duration, inputs inputList, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lib, err := crew.CompileLAWS(string(src))
+	if err != nil {
+		return err
+	}
+	names := lib.Names()
+	if len(names) == 0 {
+		return fmt.Errorf("no workflows in %s", path)
+	}
+	if wfName == "" {
+		wfName = names[0]
+	}
+	if lib.Schema(wfName) == nil {
+		return fmt.Errorf("workflow %q not found (have: %s)", wfName, strings.Join(names, ", "))
+	}
+
+	var arch crew.Architecture
+	switch archName {
+	case "central":
+		arch = crew.Central
+	case "parallel":
+		arch = crew.Parallel
+	case "distributed":
+		arch = crew.Distributed
+	default:
+		return fmt.Errorf("unknown architecture %q", archName)
+	}
+
+	var mu sync.Mutex
+	reg := crew.NewRegistry()
+	registerSynthetic(reg, lib, failStep, &mu)
+
+	sys, err := crew.NewSystem(crew.Config{
+		Library:      lib,
+		Programs:     reg,
+		Architecture: arch,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	if trace {
+		type netProvider interface{ Network() *transport.Network }
+		if np, ok := sys.(netProvider); ok {
+			np.Network().Trace(func(m transport.Message) {
+				mu.Lock()
+				fmt.Printf("  msg %-10s %-9s -> %-9s (%v)\n", m.Kind, m.From, m.To, m.Mechanism)
+				mu.Unlock()
+			})
+		}
+	}
+
+	fmt.Printf("running %s on %s control\n", wfName, arch)
+	id, st, err := sys.Run(wfName, inputs, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance %s.%d finished: %v\n", wfName, id, st)
+	if snap, ok := sys.Snapshot(wfName, id); ok {
+		fmt.Println("data table:")
+		keys := make([]string, 0, len(snap.Data))
+		for k := range snap.Data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s = %s\n", k, snap.Data[k].GoString())
+		}
+		fmt.Printf("execution order: %v\n", snap.ExecOrder)
+	}
+	col := sys.Collector()
+	fmt.Printf("messages: normal=%d failure=%d coordination=%d abort=%d\n",
+		col.Messages(crew.MechNormal), col.Messages(crew.MechFailure),
+		col.Messages(crew.MechCoordination), col.Messages(crew.MechAbort))
+	return nil
+}
+
+// registerSynthetic binds every program name mentioned by the library to a
+// synthetic implementation that logs, derives numeric outputs from its
+// inputs, and honors the one-time failure injection.
+func registerSynthetic(reg *crew.Registry, lib *crew.Library, failStep string, mu *sync.Mutex) {
+	seen := map[string]bool{}
+	failed := false
+	for _, name := range lib.Names() {
+		s := lib.Schema(name)
+		for _, st := range s.StepList() {
+			st := st
+			register := func(prog string, comp bool) {
+				if prog == "" || seen[prog] {
+					return
+				}
+				seen[prog] = true
+				reg.Register(prog, func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					if !comp && string(ctx.Step) == failStep && !failed {
+						failed = true
+						fmt.Printf("  step %-10s attempt %d at instance %d: injected FAILURE\n", ctx.Step, ctx.Attempt, ctx.Instance)
+						return nil, crew.Fail("injected by -fail")
+					}
+					verb := "exec"
+					if comp {
+						verb = "comp"
+					}
+					fmt.Printf("  step %-10s %s (mode %v, attempt %d)\n", ctx.Step, verb, ctx.Mode, ctx.Attempt)
+					if comp {
+						return nil, nil
+					}
+					out := make(map[string]crew.Value, len(st.Outputs))
+					sum := 0.0
+					for _, v := range ctx.Inputs {
+						if f, ok := v.AsNum(); ok {
+							sum += f
+						}
+					}
+					for i, o := range st.Outputs {
+						out[o] = crew.Num(sum + float64(ctx.Attempt) + float64(i))
+					}
+					return out, nil
+				})
+			}
+			register(st.Program, false)
+			register(st.Compensation, true)
+		}
+	}
+}

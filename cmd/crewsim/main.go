@@ -1,0 +1,230 @@
+// Command crewsim regenerates the paper's evaluation: the parameter space
+// (Table 3), the per-architecture load/message tables with analytic and
+// measured columns (Tables 4-6), the architecture recommendation (Table 7),
+// the parameter sweeps behind §6's scaling claims, and demonstrations of the
+// relative-ordering protocol (Figure 4), the OCR algorithm (Figure 5) and
+// the workflow packet (Figure 7).
+//
+// Usage:
+//
+//	crewsim table3
+//	crewsim table4|table5|table6 [-i N] [-seed S] [-s steps] [-z agents] [-e engines]
+//	crewsim table7  [-i N] [-seed S]
+//	crewsim sweep   [-i N] -param s|z|e|ro -values 5,10,15 [-arch central|parallel|distributed]
+//	crewsim fig4
+//	crewsim fig5
+//	crewsim fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crew/internal/analysis"
+	"crew/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "table3":
+		err = cmdTable3()
+	case "table4":
+		err = cmdTable(analysis.Central, "Table 4: Load and Physical Messages in Centralized Workflow Control", args)
+	case "table5":
+		err = cmdTable(analysis.Parallel, "Table 5: Load and Physical Messages in Parallel Workflow Control", args)
+	case "table6":
+		err = cmdTable(analysis.Distributed, "Table 6: Load and Physical Messages in Distributed Workflow Control", args)
+	case "table7":
+		err = cmdTable7(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "fig4":
+		err = cmdFig4()
+	case "fig5":
+		err = cmdFig5()
+	case "fig7":
+		err = cmdFig7()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crewsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: crewsim <table3|table4|table5|table6|table7|sweep|fig4|fig5|fig7> [flags]`)
+}
+
+// experimentParams defines the measured-run parameter point: Table 3
+// averages scaled down in c/i so a run takes seconds, with every mechanism
+// active.
+func experimentParams() analysis.Parameters {
+	p := analysis.Default()
+	p.C = 4
+	p.S = 10
+	p.Z = 10
+	p.A = 2
+	p.F = 2
+	p.R = 3
+	p.W = 2
+	p.ME, p.RO, p.RD = 1, 2, 1
+	return p
+}
+
+func paramFlags(fs *flag.FlagSet, p *analysis.Parameters) (instances *int, seed *int64) {
+	instances = fs.Int("i", 5, "instances per schema")
+	seed = fs.Int64("seed", 1, "workload seed")
+	fs.IntVar(&p.S, "s", p.S, "steps per workflow")
+	fs.IntVar(&p.C, "c", p.C, "workflow schemas")
+	fs.IntVar(&p.Z, "z", p.Z, "agents")
+	fs.IntVar(&p.E, "e", p.E, "engines")
+	fs.IntVar(&p.A, "a", p.A, "eligible agents per step")
+	fs.IntVar(&p.RO, "ro", p.RO, "relative-order steps per workflow")
+	fs.IntVar(&p.ME, "me", p.ME, "mutex steps per workflow")
+	fs.IntVar(&p.RD, "rd", p.RD, "rollback-dependency steps per workflow")
+	fs.Float64Var(&p.PF, "pf", p.PF, "step failure probability")
+	return instances, seed
+}
+
+func cmdTable3() error {
+	fmt.Println("Table 3: Parameters used in Analysis")
+	fmt.Printf("  %-52s %-7s %s\n", "Parameter", "Symbol", "Value Range")
+	for _, r := range analysis.Table3() {
+		fmt.Printf("  %-52s %-7s %g - %g\n", r.Name, r.Symbol, r.Lo, r.Hi)
+	}
+	return nil
+}
+
+func cmdTable(arch analysis.Architecture, title string, args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	p := experimentParams()
+	instances, seed := paramFlags(fs, &p)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := experiment.Run(experiment.Options{
+		Arch:      arch,
+		Params:    p,
+		Instances: *instances,
+		Seed:      *seed,
+		Timeout:   5 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatComparison(title, m))
+	return nil
+}
+
+func cmdTable7(args []string) error {
+	fs := flag.NewFlagSet("table7", flag.ExitOnError)
+	p := experimentParams()
+	instances, seed := paramFlags(fs, &p)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results := make(map[analysis.Architecture]*experiment.Measured, 3)
+	for _, arch := range analysis.Architectures {
+		m, err := experiment.Run(experiment.Options{
+			Arch: arch, Params: p, Instances: *instances, Seed: *seed,
+			Timeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return fmt.Errorf("%v: %w", arch, err)
+		}
+		results[arch] = m
+	}
+	fmt.Println("Table 7: Recommended Choice of Architectures (analytic | measured)")
+	fmt.Printf("  %-18s %-34s %-34s\n", "Criteria", "Load at Node", "Physical Messages")
+	for _, c := range analysis.Criteria {
+		al := analysis.RecommendLoad(p, c)
+		am := analysis.RecommendMessages(p, c)
+		ml := experiment.RankMeasured(results, c, true)
+		mm := experiment.RankMeasured(results, c, false)
+		fmt.Printf("  %-18s analytic: %-24s analytic: %s\n", c, rankStr(al.Order), rankStr(am.Order))
+		fmt.Printf("  %-18s measured: %-24s measured: %s\n", "", rankStr(ml.Order), rankStr(mm.Order))
+	}
+	return nil
+}
+
+func rankStr(order []analysis.Architecture) string {
+	parts := make([]string, len(order))
+	for i, a := range order {
+		parts[i] = fmt.Sprintf("(%d)%s", i+1, a)
+	}
+	return strings.Join(parts, " ")
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	param := fs.String("param", "z", "parameter to sweep: s|z|e|a|ro|pf")
+	values := fs.String("values", "4,8,16", "comma-separated values")
+	archName := fs.String("arch", "distributed", "central|parallel|distributed")
+	instances := fs.Int("i", 5, "instances per schema")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var arch analysis.Architecture
+	switch *archName {
+	case "central":
+		arch = analysis.Central
+	case "parallel":
+		arch = analysis.Parallel
+	case "distributed":
+		arch = analysis.Distributed
+	default:
+		return fmt.Errorf("unknown architecture %q", *archName)
+	}
+	fmt.Printf("Sweep of %s on %v (normal msgs/inst, coord msgs/inst, load/inst per node)\n", *param, arch)
+	for _, vs := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+		if err != nil {
+			return err
+		}
+		p := experimentParams()
+		switch *param {
+		case "s":
+			p.S = int(v)
+		case "z":
+			p.Z = int(v)
+		case "e":
+			p.E = int(v)
+		case "a":
+			p.A = int(v)
+		case "ro":
+			p.RO = int(v)
+		case "pf":
+			p.PF = v
+		default:
+			return fmt.Errorf("unknown parameter %q", *param)
+		}
+		m, err := experiment.Run(experiment.Options{
+			Arch: arch, Params: p, Instances: *instances, Seed: *seed,
+			Timeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s=%-6g msgs=%-8.2f coord=%-8.2f load=%-8.3f\n",
+			*param, v,
+			m.MsgsPerInstance[analysis.RowNormal],
+			m.MsgsPerInstance[analysis.RowCoord],
+			m.LoadPerInstance[analysis.RowNormal])
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package crew is a Go reproduction of "Failure Handling and Coordinated
+// Execution of Concurrent Workflows" (Kamath & Ramamritham, ICDE 1998): a
+// rule-based workflow management system with three interchangeable control
+// architectures — centralized, parallel and distributed — plus the paper's
+// failure-handling machinery (partial rollback, thread halting, compensation
+// dependent sets, opportunistic compensation and re-execution) and
+// coordinated execution across concurrent workflows (relative ordering,
+// mutual exclusion, rollback dependencies).
+//
+// A minimal program:
+//
+//	lib := crew.NewLibrary()
+//	lib.Add(crew.NewSchema("Hello").
+//		Step("Greet", "greet").
+//		MustBuild())
+//	reg := crew.NewRegistry()
+//	reg.Register("greet", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+//		fmt.Println("hello, workflow")
+//		return nil, nil
+//	})
+//	sys, _ := crew.NewSystem(crew.Config{Library: lib, Programs: reg})
+//	defer sys.Close()
+//	id, _ := sys.Start("Hello", nil)
+//	sys.Wait("Hello", id, time.Second)
+//
+// Workflows can also be written in the LAWS specification language and
+// compiled with CompileLAWS. Choose the control architecture with
+// Config.Architecture; the same library, programs and API run unchanged on
+// all three, which is exactly what the paper's evaluation compares.
+package crew
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crew/internal/analysis"
+	"crew/internal/central"
+	"crew/internal/distributed"
+	"crew/internal/expr"
+	"crew/internal/frontend"
+	"crew/internal/laws"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/parallel"
+	"crew/internal/wfdb"
+)
+
+// Core modeling types, aliased from the implementation packages so they are
+// usable without importing internal paths.
+type (
+	// Schema is a workflow definition: a directed graph of steps.
+	Schema = model.Schema
+	// SchemaBuilder builds schemas fluently; see NewSchema.
+	SchemaBuilder = model.Builder
+	// Library is a set of schemas plus cross-workflow coordination specs.
+	Library = model.Library
+	// Step is one node of a schema.
+	Step = model.Step
+	// StepID identifies a step within a schema.
+	StepID = model.StepID
+	// StepOption customizes a step added through a SchemaBuilder.
+	StepOption = model.StepOption
+	// Arc connects two steps (control or data flow).
+	Arc = model.Arc
+	// FailurePolicy is a step's failure-handling specification.
+	FailurePolicy = model.FailurePolicy
+	// CoordSpec is a coordinated-execution requirement across workflows.
+	CoordSpec = model.CoordSpec
+	// StepRef qualifies a step with its workflow class.
+	StepRef = model.StepRef
+	// ConflictPair is one conflicting step pair of a relative-order spec.
+	ConflictPair = model.ConflictPair
+
+	// Value is a dynamically typed workflow data value.
+	Value = expr.Value
+	// Program is a black-box step program.
+	Program = model.Program
+	// ProgramContext carries a program invocation's arguments.
+	ProgramContext = model.ProgramContext
+	// PrevExecution exposes a step's previous execution to re-executions.
+	PrevExecution = model.PrevExecution
+	// Registry maps program names to implementations.
+	Registry = model.Registry
+
+	// Status is a workflow instance's life-cycle state.
+	Status = wfdb.Status
+	// Instance is a snapshot of one workflow instance's state.
+	Instance = wfdb.Instance
+	// Collector accumulates the load and message metrics the paper's
+	// evaluation compares.
+	Collector = metrics.Collector
+	// Mechanism classifies load/messages by the evaluation's five rows.
+	Mechanism = metrics.Mechanism
+	// Params is the evaluation's Table 3 parameter point.
+	Params = analysis.Parameters
+	// FrontEnd maps external request IDs to workflow instances.
+	FrontEnd = frontend.FrontEnd
+)
+
+// Instance life-cycle states.
+const (
+	Running   = wfdb.Running
+	Committed = wfdb.Committed
+	Aborted   = wfdb.Aborted
+)
+
+// Join policies for confluence steps.
+const (
+	JoinAll = model.JoinAll
+	JoinAny = model.JoinAny
+)
+
+// Coordination spec kinds.
+const (
+	Mutex         = model.Mutex
+	RelativeOrder = model.RelativeOrder
+	RollbackDep   = model.RollbackDep
+)
+
+// Metric mechanism classes.
+const (
+	MechNormal       = metrics.Normal
+	MechInputChange  = metrics.InputChange
+	MechAbort        = metrics.Abort
+	MechFailure      = metrics.Failure
+	MechCoordination = metrics.Coordination
+)
+
+// Value constructors.
+var (
+	// Num builds a numeric value.
+	Num = expr.Num
+	// Str builds a string value.
+	Str = expr.Str
+	// Bool builds a boolean value.
+	Bool = expr.Bool
+	// Null builds the null value.
+	Null = expr.Null
+)
+
+// Schema-building helpers.
+var (
+	// NewSchema starts a schema builder.
+	NewSchema = model.NewSchema
+	// NewLibrary creates an empty library.
+	NewLibrary = model.NewLibrary
+	// WithAgents sets a step's eligible agents.
+	WithAgents = model.WithAgents
+	// WithCompensation sets a step's compensation program.
+	WithCompensation = model.WithCompensation
+	// WithInputs declares a step's consumed data items (full names).
+	WithInputs = model.WithInputs
+	// WithOutputs declares a step's produced data items (short names).
+	WithOutputs = model.WithOutputs
+	// WithUpdate marks a step as updating shared resources.
+	WithUpdate = model.WithUpdate
+	// WithJoin sets a confluence step's join policy.
+	WithJoin = model.WithJoin
+	// WithReexecCond sets a step's OCR re-execution condition.
+	WithReexecCond = model.WithReexecCond
+	// WithIncremental marks a step as supporting incremental re-execution.
+	WithIncremental = model.WithIncremental
+	// WithName sets a human-readable step label.
+	WithName = model.WithName
+)
+
+// Program helpers.
+var (
+	// NewRegistry creates an empty program registry.
+	NewRegistry = model.NewRegistry
+	// NopProgram succeeds producing null outputs.
+	NopProgram = model.NopProgram
+	// ConstProgram produces fixed outputs.
+	ConstProgram = model.ConstProgram
+	// FailNTimes fails the first n executions, then delegates.
+	FailNTimes = model.FailNTimes
+	// Fail builds a logical step-failure error.
+	Fail = model.Fail
+	// NewCollector creates a metrics collector.
+	NewCollector = metrics.NewCollector
+	// DefaultParams returns the paper's average-case Table 3 parameters.
+	DefaultParams = analysis.Default
+)
+
+// CompileLAWS compiles a LAWS specification into a validated library.
+func CompileLAWS(src string) (*Library, error) { return laws.Compile(src) }
+
+// MustCompileLAWS is CompileLAWS panicking on error.
+func MustCompileLAWS(src string) *Library { return laws.MustCompile(src) }
+
+// NewFrontEnd builds an administrative front end over a running system.
+func NewFrontEnd(sys System) *FrontEnd { return frontend.New(sys) }
+
+// Architecture selects the workflow control architecture (paper Figure 6).
+type Architecture int
+
+const (
+	// Central runs a single workflow engine (paper §2).
+	Central Architecture = iota
+	// Parallel runs several engines sharing the load (paper §6).
+	Parallel
+	// Distributed lets the step-executing agents schedule and coordinate
+	// the workflows themselves (paper §4-5).
+	Distributed
+)
+
+// String names the architecture.
+func (a Architecture) String() string {
+	switch a {
+	case Central:
+		return "central"
+	case Parallel:
+		return "parallel"
+	case Distributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Config assembles a deployment.
+type Config struct {
+	// Library holds the workflow definitions; required.
+	Library *Library
+	// Programs resolves step programs; required.
+	Programs *Registry
+	// Architecture defaults to Central.
+	Architecture Architecture
+	// Agents names the agent nodes; defaults derive from the library's
+	// eligible-agent declarations.
+	Agents []string
+	// Engines is the parallel architecture's engine count (default 2).
+	Engines int
+	// Collector receives metrics; one is created if nil.
+	Collector *Collector
+	// DisableOCR forces Saga-style recovery (the OCR ablation).
+	DisableOCR bool
+	// PurgeOnCommit broadcasts purge notes in distributed control.
+	PurgeOnCommit bool
+	// Logf receives diagnostics; defaults to the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// System is a running workflow management system. All three architectures
+// implement it identically.
+type System interface {
+	// Start launches an instance and returns its ID.
+	Start(workflow string, inputs map[string]Value) (int, error)
+	// Run starts an instance and waits for its terminal status.
+	Run(workflow string, inputs map[string]Value, timeout time.Duration) (int, Status, error)
+	// Wait blocks until the instance terminates.
+	Wait(workflow string, id int, timeout time.Duration) (Status, error)
+	// Abort requests a user-initiated abort.
+	Abort(workflow string, id int) error
+	// ChangeInputs applies user-initiated workflow input changes.
+	ChangeInputs(workflow string, id int, inputs map[string]Value) error
+	// Status reports an instance's status.
+	Status(workflow string, id int) (Status, bool)
+	// Snapshot returns a deep copy of the instance state.
+	Snapshot(workflow string, id int) (*Instance, bool)
+	// Collector exposes the deployment's metrics.
+	Collector() *Collector
+	// Close shuts the deployment down.
+	Close()
+}
+
+var (
+	_ System = (*central.System)(nil)
+	_ System = (*parallel.System)(nil)
+	_ System = (*distributed.System)(nil)
+)
+
+// NewSystem builds and starts a deployment of the configured architecture.
+func NewSystem(cfg Config) (System, error) {
+	if cfg.Library == nil {
+		return nil, errors.New("crew: Config.Library is required")
+	}
+	if cfg.Programs == nil {
+		return nil, errors.New("crew: Config.Programs is required")
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector()
+	}
+	switch cfg.Architecture {
+	case Central:
+		return central.NewSystem(central.SystemConfig{
+			Library:    cfg.Library,
+			Programs:   cfg.Programs,
+			Collector:  cfg.Collector,
+			Agents:     cfg.Agents,
+			DisableOCR: cfg.DisableOCR,
+			Logf:       cfg.Logf,
+		})
+	case Parallel:
+		engines := cfg.Engines
+		if engines <= 0 {
+			engines = 2
+		}
+		return parallel.NewSystem(parallel.SystemConfig{
+			Library:    cfg.Library,
+			Programs:   cfg.Programs,
+			Collector:  cfg.Collector,
+			Engines:    engines,
+			Agents:     cfg.Agents,
+			DisableOCR: cfg.DisableOCR,
+			Logf:       cfg.Logf,
+		})
+	case Distributed:
+		return distributed.NewSystem(distributed.SystemConfig{
+			Library:       cfg.Library,
+			Programs:      cfg.Programs,
+			Collector:     cfg.Collector,
+			Agents:        cfg.Agents,
+			DisableOCR:    cfg.DisableOCR,
+			PurgeOnCommit: cfg.PurgeOnCommit,
+			Logf:          cfg.Logf,
+		})
+	default:
+		return nil, fmt.Errorf("crew: unknown architecture %v", cfg.Architecture)
+	}
+}

@@ -1,0 +1,201 @@
+package crew_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crew"
+)
+
+const waitTimeout = 5 * time.Second
+
+// orderLAWS is a LAWS spec exercising branching, OCR and coordination.
+const orderLAWS = `
+workflow Order {
+  inputs Qty
+  step Reserve {
+    program "reserve"
+    compensation "unreserve"
+    inputs WF.Qty
+    outputs O1
+    reexec when "WF.Qty > prev.WF.Qty"
+  }
+  step Bill { program "bill" inputs Reserve.O1 outputs O1 }
+  step Ship { program "ship" inputs Bill.O1 }
+  Reserve -> Bill
+  Bill -> Ship
+  on failure of Bill rollback to Reserve attempts 3
+}
+`
+
+func registryFor(t *testing.T, rec *recorder) *crew.Registry {
+	t.Helper()
+	reg := crew.NewRegistry()
+	reg.Register("reserve", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		rec.add("reserve")
+		q, _ := ctx.Inputs["WF.Qty"].AsNum()
+		return map[string]crew.Value{"O1": crew.Num(q)}, nil
+	})
+	reg.Register("unreserve", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		rec.add("unreserve")
+		return nil, nil
+	})
+	reg.Register("bill", crew.FailNTimes(1, func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		rec.add("bill")
+		return map[string]crew.Value{"O1": crew.Num(1)}, nil
+	}))
+	reg.Register("ship", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		rec.add("ship")
+		return nil, nil
+	})
+	return reg
+}
+
+type recorder struct {
+	mu sync.Mutex
+	ev []string
+}
+
+func (r *recorder) add(s string) {
+	r.mu.Lock()
+	r.ev = append(r.ev, s)
+	r.mu.Unlock()
+}
+
+func (r *recorder) count(s string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.ev {
+		if e == s {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPublicAPIAcrossArchitectures(t *testing.T) {
+	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			lib, err := crew.CompileLAWS(orderLAWS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recorder{}
+			sys, err := crew.NewSystem(crew.Config{
+				Library:      lib,
+				Programs:     registryFor(t, rec),
+				Architecture: arch,
+				Agents:       []string{"a1", "a2", "a3"},
+				Logf:         t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+
+			id, st, err := sys.Run("Order", map[string]crew.Value{"Qty": crew.Num(7)}, waitTimeout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != crew.Committed {
+				t.Fatalf("status = %v", st)
+			}
+			// Bill failed once; Reserve was reused (not re-executed, not
+			// compensated) because the quantity did not grow — the OCR path.
+			if rec.count("reserve") != 1 || rec.count("unreserve") != 0 {
+				t.Errorf("OCR violated: reserve=%d unreserve=%d", rec.count("reserve"), rec.count("unreserve"))
+			}
+			if rec.count("ship") != 1 {
+				t.Errorf("ship = %d", rec.count("ship"))
+			}
+			snap, ok := sys.Snapshot("Order", id)
+			if !ok || !snap.Data["Reserve.O1"].Equal(crew.Num(7)) {
+				t.Errorf("snapshot = (%v, %v)", snap, ok)
+			}
+			if got, ok := sys.Status("Order", id); !ok || got != crew.Committed {
+				t.Errorf("Status = (%v, %v)", got, ok)
+			}
+			if sys.Collector().Messages(crew.MechNormal) == 0 {
+				t.Error("no messages measured")
+			}
+		})
+	}
+}
+
+func TestFrontEndOverPublicAPI(t *testing.T) {
+	lib := crew.MustCompileLAWS(orderLAWS)
+	rec := &recorder{}
+	sys, err := crew.NewSystem(crew.Config{
+		Library:  lib,
+		Programs: registryFor(t, rec),
+		Agents:   []string{"a1"},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	fe := crew.NewFrontEnd(sys)
+	if err := fe.Submit("po-1", "Order", map[string]crew.Value{"Qty": crew.Num(2)}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fe.Wait("po-1", waitTimeout)
+	if err != nil || st != crew.Committed {
+		t.Fatalf("front-end wait = (%v, %v)", st, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := crew.NewSystem(crew.Config{}); err == nil || !strings.Contains(err.Error(), "Library") {
+		t.Errorf("missing library = %v", err)
+	}
+	lib := crew.NewLibrary()
+	lib.Add(crew.NewSchema("W").Step("A", "p").MustBuild())
+	if _, err := crew.NewSystem(crew.Config{Library: lib}); err == nil || !strings.Contains(err.Error(), "Programs") {
+		t.Errorf("missing programs = %v", err)
+	}
+	reg := crew.NewRegistry()
+	reg.Register("p", crew.NopProgram())
+	if _, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg, Architecture: crew.Architecture(9)}); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	if crew.Central.String() != "central" || crew.Parallel.String() != "parallel" ||
+		crew.Distributed.String() != "distributed" {
+		t.Error("architecture names wrong")
+	}
+	if crew.Architecture(9).String() != "Architecture(9)" {
+		t.Error("unknown architecture name wrong")
+	}
+}
+
+func TestBuilderAPIWithoutLAWS(t *testing.T) {
+	lib := crew.NewLibrary()
+	lib.Add(crew.NewSchema("Mini", "I1").
+		Step("A", "pa", crew.WithOutputs("O1"), crew.WithCompensation("ca")).
+		Step("B", "pb", crew.WithInputs("A.O1"), crew.WithJoin(crew.JoinAll)).
+		Seq("A", "B").
+		MustBuild())
+	reg := crew.NewRegistry()
+	reg.Register("pa", crew.ConstProgram(map[string]crew.Value{"O1": crew.Num(1)}))
+	reg.Register("pb", crew.NopProgram())
+	reg.Register("ca", crew.NopProgram())
+	sys, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	_, st, err := sys.Run("Mini", map[string]crew.Value{"I1": crew.Num(5)}, waitTimeout)
+	if err != nil || st != crew.Committed {
+		t.Fatalf("run = (%v, %v)", st, err)
+	}
+	if crew.DefaultParams().S != 15 {
+		t.Error("DefaultParams wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package crew_test
+
+// Cross-architecture equivalence: the three control architectures are
+// different machines executing the same semantics, so a deterministic
+// workload must commit the same instances with the same final data on all
+// of them (paper Figure 6: the architecture is a deployment choice, not a
+// semantics choice).
+
+import (
+	"testing"
+	"time"
+
+	"crew"
+	"crew/internal/analysis"
+	"crew/internal/workload"
+)
+
+func TestArchitecturesProduceEquivalentResults(t *testing.T) {
+	p := analysis.Default()
+	p.C = 3
+	p.S = 7
+	p.Z = 6
+	p.A = 2
+	p.F = 2
+	p.R = 2
+	p.ME, p.RO, p.RD = 0, 2, 0 // ordering on, failures off: fully deterministic
+	p.PF, p.PI, p.PA, p.PR = 0, 0, 0, 0
+
+	type outcome struct {
+		status crew.Status
+		data   map[string]string
+	}
+	const instances = 4
+
+	results := make(map[crew.Architecture]map[string]outcome)
+	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
+		w, err := workload.Generate(p, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := crew.NewSystem(crew.Config{
+			Library:      w.Library,
+			Programs:     w.Programs,
+			Architecture: arch,
+			Agents:       w.Agents,
+			Engines:      3,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]outcome)
+		for _, wf := range w.Library.Names() {
+			for i := 0; i < instances; i++ {
+				id, st, err := sys.Run(wf, w.Inputs(i), 20*time.Second)
+				if err != nil {
+					sys.Close()
+					t.Fatalf("%v %s: %v", arch, wf, err)
+				}
+				snap, ok := sys.Snapshot(wf, id)
+				if !ok {
+					sys.Close()
+					t.Fatalf("%v %s.%d: no snapshot", arch, wf, id)
+				}
+				data := make(map[string]string, len(snap.Data))
+				for k, v := range snap.Data {
+					data[k] = v.GoString()
+				}
+				got[wf+"#"+string(rune('0'+i))] = outcome{status: st, data: data}
+			}
+		}
+		sys.Close()
+		results[arch] = got
+	}
+
+	base := results[crew.Central]
+	for _, arch := range []crew.Architecture{crew.Parallel, crew.Distributed} {
+		other := results[arch]
+		if len(other) != len(base) {
+			t.Fatalf("%v produced %d outcomes, central %d", arch, len(other), len(base))
+		}
+		for key, want := range base {
+			got, ok := other[key]
+			if !ok {
+				t.Errorf("%v missing outcome %s", arch, key)
+				continue
+			}
+			if got.status != want.status {
+				t.Errorf("%v %s status = %v, central %v", arch, key, got.status, want.status)
+			}
+			for item, v := range want.data {
+				if got.data[item] != v {
+					t.Errorf("%v %s data %s = %s, central %s", arch, key, item, got.data[item], v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package crew_test
+
+import (
+	"fmt"
+	"time"
+
+	"crew"
+)
+
+// Example runs a two-step workflow compiled from LAWS on the distributed
+// control architecture.
+func Example() {
+	lib := crew.MustCompileLAWS(`
+workflow Order {
+  inputs Qty
+  step Reserve {
+    program "reserve"
+    inputs WF.Qty
+    outputs O1
+  }
+  step Ship { program "ship" inputs Reserve.O1 }
+  Reserve -> Ship
+}`)
+
+	reg := crew.NewRegistry()
+	reg.Register("reserve", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		qty, _ := ctx.Inputs["WF.Qty"].AsNum()
+		return map[string]crew.Value{"O1": crew.Num(qty * 2)}, nil
+	})
+	reg.Register("ship", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		fmt.Println("shipping", ctx.Inputs["Reserve.O1"], "units")
+		return nil, nil
+	})
+
+	sys, err := crew.NewSystem(crew.Config{
+		Library:      lib,
+		Programs:     reg,
+		Architecture: crew.Distributed,
+		Agents:       []string{"a1", "a2"},
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	_, status, err := sys.Run("Order", map[string]crew.Value{"Qty": crew.Num(21)}, 5*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("status:", status)
+	// Output:
+	// shipping 42 units
+	// status: committed
+}
+
+// ExampleCompileLAWS shows failure handling declared in LAWS: the failing
+// payment rolls the workflow back to the quote, which re-executes.
+func ExampleCompileLAWS() {
+	lib, err := crew.CompileLAWS(`
+workflow Pay {
+  step Quote { program "quote" outputs Price }
+  step Charge { program "charge" inputs Quote.Price }
+  Quote -> Charge
+  on failure of Charge rollback to Quote attempts 3
+}`)
+	if err != nil {
+		panic(err)
+	}
+
+	reg := crew.NewRegistry()
+	attempt := 0
+	reg.Register("quote", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		attempt++
+		return map[string]crew.Value{"Price": crew.Num(float64(90 + 10*attempt))}, nil
+	})
+	reg.Register("charge", crew.FailNTimes(1, func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		fmt.Println("charged", ctx.Inputs["Quote.Price"])
+		return nil, nil
+	}))
+
+	sys, err := crew.NewSystem(crew.Config{
+		Library:  lib,
+		Programs: reg,
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	_, status, err := sys.Run("Pay", nil, 5*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("status:", status)
+	// Output:
+	// charged 100
+	// status: committed
+}

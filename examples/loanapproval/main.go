@@ -1,0 +1,167 @@
+// Loan approval: parallel branches with an AND-join, a front-end database
+// mapping external case numbers to workflow instances, and a user-initiated
+// cancellation that compensates completed steps in reverse execution order
+// (the paper's WorkflowAbort path).
+//
+//	go run ./examples/loanapproval
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"crew"
+)
+
+const spec = `
+workflow Loan {
+  inputs Amount
+
+  step Intake {
+    program "intake"
+    compensation "closeFile"
+    agents clerk1, clerk2
+    inputs WF.Amount
+    outputs O1
+  }
+  step CreditCheck {
+    program "credit"
+    compensation "voidCredit"
+    agents clerk1, clerk2
+    inputs Intake.O1
+    outputs Score
+  }
+  # The appraisal can stall, so it gets a dedicated agent.
+  step Appraisal {
+    program "appraise"
+    compensation "voidAppraisal"
+    agents appraiser
+    inputs Intake.O1
+    outputs Value
+  }
+  step Decide {
+    program "decide"
+    agents clerk1, clerk2
+    inputs CreditCheck.Score, Appraisal.Value
+    outputs Approved
+    join all
+  }
+
+  Intake -> CreditCheck, Appraisal
+  CreditCheck -> Decide
+  Appraisal -> Decide
+
+  abort compensate Intake, CreditCheck, Appraisal
+}
+`
+
+func main() {
+	lib, err := crew.CompileLAWS(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []string
+	note := func(s string) {
+		mu.Lock()
+		events = append(events, s)
+		mu.Unlock()
+		fmt.Println("  " + s)
+	}
+	appraisalGate := make(chan struct{})
+
+	reg := crew.NewRegistry()
+	reg.Register("intake", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		amt, _ := ctx.Inputs["WF.Amount"].AsNum()
+		note(fmt.Sprintf("Intake: case %d for amount %.0f", ctx.Instance, amt))
+		return map[string]crew.Value{"O1": crew.Num(float64(ctx.Instance))}, nil
+	})
+	reg.Register("closeFile", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		note(fmt.Sprintf("Intake: case %d file closed (compensation)", ctx.Instance))
+		return nil, nil
+	})
+	reg.Register("credit", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		note(fmt.Sprintf("CreditCheck: case %d scored", ctx.Instance))
+		return map[string]crew.Value{"Score": crew.Num(700)}, nil
+	})
+	reg.Register("voidCredit", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		note(fmt.Sprintf("CreditCheck: case %d voided (compensation)", ctx.Instance))
+		return nil, nil
+	})
+	reg.Register("appraise", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		if ctx.Instance == 2 {
+			<-appraisalGate // the second case's appraisal stalls
+		}
+		note(fmt.Sprintf("Appraisal: case %d property valued", ctx.Instance))
+		return map[string]crew.Value{"Value": crew.Num(250000)}, nil
+	})
+	reg.Register("voidAppraisal", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		note(fmt.Sprintf("Appraisal: case %d voided (compensation)", ctx.Instance))
+		return nil, nil
+	})
+	reg.Register("decide", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		note(fmt.Sprintf("Decide: case %d approved", ctx.Instance))
+		return map[string]crew.Value{"Approved": crew.Bool(true)}, nil
+	})
+
+	sys, err := crew.NewSystem(crew.Config{
+		Library:      lib,
+		Programs:     reg,
+		Architecture: crew.Central,
+		Agents:       []string{"clerk1", "clerk2", "appraiser"},
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fe := crew.NewFrontEnd(sys)
+
+	fmt.Println("case LN-1001 (runs to approval):")
+	if err := fe.Submit("LN-1001", "Loan", map[string]crew.Value{"Amount": crew.Num(200000)}); err != nil {
+		log.Fatal(err)
+	}
+	st, err := fe.Wait("LN-1001", 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> %v\n\n", st)
+
+	fmt.Println("case LN-1002 (customer cancels while the appraisal is stuck):")
+	if err := fe.Submit("LN-1002", "Loan", map[string]crew.Value{"Amount": crew.Num(90000)}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // intake + credit check complete
+	if err := fe.Cancel("LN-1002"); err != nil {
+		log.Fatal(err)
+	}
+	st, err = fe.Wait("LN-1002", 10*time.Second)
+	close(appraisalGate) // release the stuck appraiser; its late result is ignored
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stale appraisal note flush
+	fmt.Printf("  -> %v\n", st)
+
+	mu.Lock()
+	idxCredit, idxIntake := -1, -1
+	for i, e := range events {
+		if e == "CreditCheck: case 2 voided (compensation)" {
+			idxCredit = i
+		}
+		if e == "Intake: case 2 file closed (compensation)" {
+			idxIntake = i
+		}
+	}
+	mu.Unlock()
+	if idxCredit >= 0 && idxIntake > idxCredit {
+		fmt.Println("\ncompleted steps were compensated in reverse execution order.")
+	} else {
+		fmt.Println("\nNOTE: compensation order unexpected!")
+	}
+	fmt.Printf("abort messages: %d\n", sys.Collector().Messages(crew.MechAbort))
+}

@@ -1,0 +1,71 @@
+// Quickstart: define a three-step workflow with the builder API, run one
+// instance on the distributed control architecture, and read its results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crew"
+)
+
+func main() {
+	// A workflow schema is a directed graph of steps. Data items use the
+	// paper's naming: workflow inputs are WF.<name>, step outputs are
+	// <Step>.<name>.
+	lib := crew.NewLibrary()
+	lib.Add(crew.NewSchema("Greeting", "Name").
+		Step("Compose", "compose",
+			crew.WithInputs("WF.Name"),
+			crew.WithOutputs("Text")).
+		Step("Emphasize", "emphasize",
+			crew.WithInputs("Compose.Text"),
+			crew.WithOutputs("Text")).
+		Step("Deliver", "deliver",
+			crew.WithInputs("Emphasize.Text")).
+		Seq("Compose", "Emphasize", "Deliver").
+		MustBuild())
+
+	// Step programs are black boxes to the WFMS: plain Go functions keyed
+	// by name.
+	reg := crew.NewRegistry()
+	reg.Register("compose", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		name, _ := ctx.Inputs["WF.Name"].AsStr()
+		return map[string]crew.Value{"Text": crew.Str("hello, " + name)}, nil
+	})
+	reg.Register("emphasize", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		text, _ := ctx.Inputs["Compose.Text"].AsStr()
+		return map[string]crew.Value{"Text": crew.Str(text + "!")}, nil
+	})
+	reg.Register("deliver", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		text, _ := ctx.Inputs["Emphasize.Text"].AsStr()
+		fmt.Println("delivering:", text)
+		return nil, nil
+	})
+
+	// The same library and programs run on any of the three control
+	// architectures; here the agents themselves schedule the workflow.
+	sys, err := crew.NewSystem(crew.Config{
+		Library:      lib,
+		Programs:     reg,
+		Architecture: crew.Distributed,
+		Agents:       []string{"agent1", "agent2", "agent3"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	id, status, err := sys.Run("Greeting", map[string]crew.Value{"Name": crew.Str("workflows")}, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance Greeting.%d finished: %v\n", id, status)
+
+	snap, _ := sys.Snapshot("Greeting", id)
+	fmt.Printf("final text: %s\n", snap.Data["Emphasize.Text"])
+	fmt.Printf("physical messages exchanged: %d\n", sys.Collector().TotalMessages())
+}

@@ -1,0 +1,148 @@
+// Travel booking: the paper's Figure 3 recovery scenario. A booking
+// workflow takes the "fly" branch of an if-then-else, the flight payment
+// step fails, and the workflow partially rolls back to the quoting step
+// instead of aborting. The re-executed quote picks the train branch, so the
+// opportunistic compensation and re-execution machinery:
+//
+//   - compensates and re-runs the quote (its re-execution condition says a
+//     failed payment invalidates the previous quote);
+//
+//   - starts a compensation thread down the abandoned flight branch
+//     (undoing the seat reservation);
+//
+//   - reuses the traveler-profile step untouched (its inputs are unchanged);
+//
+//   - continues through the confluence step and commits.
+//
+//     go run ./examples/travelbooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"crew"
+)
+
+func main() {
+	lib := crew.NewLibrary()
+	lib.Add(crew.NewSchema("Trip", "Budget").
+		Step("Profile", "profile",
+			crew.WithInputs("WF.Budget"), crew.WithOutputs("Traveler"),
+			crew.WithCompensation("unprofile")).
+		Step("Quote", "quote",
+			crew.WithInputs("WF.Budget"), crew.WithOutputs("Price"),
+			crew.WithCompensation("unquote"),
+			// A revisit after a failure downstream must produce a fresh
+			// quote (the previous one led to the failed payment).
+			crew.WithReexecCond("true")).
+		Step("ReserveSeat", "reserveSeat",
+			crew.WithInputs("Quote.Price"),
+			crew.WithCompensation("releaseSeat")).
+		Step("PayFlight", "payFlight",
+			crew.WithInputs("Quote.Price")).
+		Step("BookTrain", "bookTrain",
+			crew.WithInputs("Quote.Price")).
+		Step("Itinerary", "itinerary", crew.WithJoin(crew.JoinAny)).
+		Seq("Profile", "Quote").
+		CondArc("Quote", "ReserveSeat", "Quote.Price <= WF.Budget").
+		CondArc("Quote", "BookTrain", "Quote.Price > WF.Budget").
+		Arc("ReserveSeat", "PayFlight").
+		Arc("PayFlight", "Itinerary").
+		Arc("BookTrain", "Itinerary").
+		OnFailure("PayFlight", "Quote", 3).
+		MustBuild())
+
+	var mu sync.Mutex
+	var trace []string
+	note := func(s string) {
+		mu.Lock()
+		trace = append(trace, s)
+		mu.Unlock()
+		fmt.Println("  " + s)
+	}
+
+	reg := crew.NewRegistry()
+	reg.Register("profile", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("Profile: loaded traveler preferences")
+		return map[string]crew.Value{"Traveler": crew.Str("K. Ramamritham")}, nil
+	})
+	reg.Register("unprofile", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("Profile: COMPENSATED (should not happen)")
+		return nil, nil
+	})
+	reg.Register("quote", func(ctx *crew.ProgramContext) (map[string]crew.Value, error) {
+		if ctx.Attempt == 1 {
+			note("Quote: flight at 90 (within budget 100) -> fly branch")
+			return map[string]crew.Value{"Price": crew.Num(90)}, nil
+		}
+		note("Quote: re-quoted at 140 after payment failure -> train branch")
+		return map[string]crew.Value{"Price": crew.Num(140)}, nil
+	})
+	reg.Register("unquote", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("Quote: previous quote withdrawn (compensation)")
+		return nil, nil
+	})
+	reg.Register("reserveSeat", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("ReserveSeat: seat 12A held")
+		return nil, nil
+	})
+	reg.Register("releaseSeat", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("ReserveSeat: seat 12A released (abandoned-branch compensation)")
+		return nil, nil
+	})
+	reg.Register("payFlight", crew.FailNTimes(1, func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("PayFlight: charged")
+		return nil, nil
+	}))
+	reg.Register("bookTrain", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("BookTrain: train ticket booked")
+		return nil, nil
+	})
+	reg.Register("itinerary", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		note("Itinerary: sent to traveler")
+		return nil, nil
+	})
+
+	sys, err := crew.NewSystem(crew.Config{
+		Library:      lib,
+		Programs:     reg,
+		Architecture: crew.Distributed,
+		Agents:       []string{"a1", "a2", "a3"},
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Println("booking a trip with budget 100 (flight payment will fail once):")
+	id, status, err := sys.Run("Trip", map[string]crew.Value{"Budget": crew.Num(100)}, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninstance Trip.%d finished: %v\n", id, status)
+
+	mu.Lock()
+	defer mu.Unlock()
+	has := func(s string) bool {
+		for _, t := range trace {
+			if t == s {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case !has("ReserveSeat: seat 12A released (abandoned-branch compensation)"):
+		fmt.Println("NOTE: abandoned branch was not compensated!")
+	case has("Profile: COMPENSATED (should not happen)"):
+		fmt.Println("NOTE: profile was compensated although its results were reusable!")
+	default:
+		fmt.Println("partial rollback, branch switch and abandoned-branch compensation all worked;")
+		fmt.Println("the profile step's results were reused untouched (OCR).")
+	}
+	fmt.Printf("failure-handling messages: %d\n", sys.Collector().Messages(crew.MechFailure))
+}

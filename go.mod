@@ -1,0 +1,3 @@
+module crew
+
+go 1.22

@@ -1,0 +1,115 @@
+package central
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/transport"
+)
+
+// Agent is an application agent of the centralized architecture: it executes
+// step programs on the engine's request and answers state probes. It holds no
+// workflow state — that is the defining property of centralized control.
+type Agent struct {
+	name     string
+	net      *transport.Network
+	ep       *transport.Endpoint
+	programs *model.Registry
+	col      *metrics.Collector
+
+	load int64 // executions performed, reported to StateInformation probes
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// NewAgent registers and starts an application agent on the network.
+func NewAgent(name string, net *transport.Network, programs *model.Registry, col *metrics.Collector) (*Agent, error) {
+	ep, err := net.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		name:     name,
+		net:      net,
+		ep:       ep,
+		programs: programs,
+		col:      col,
+		done:     make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+// Name returns the agent's node name.
+func (a *Agent) Name() string { return a.name }
+
+// Load returns the number of programs the agent has executed.
+func (a *Agent) Load() int64 { return atomic.LoadInt64(&a.load) }
+
+// Stop waits for the agent goroutine to exit (the network must be closed or
+// closing, so the inbox drains).
+func (a *Agent) Stop() {
+	a.wg.Wait()
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	for m := range a.ep.Inbox() {
+		switch p := m.Payload.(type) {
+		case ExecRequest:
+			a.handleExec(p)
+		case StateRequest:
+			a.send(p.ReplyTo, p.Mechanism, KindStateResponse, StateResponse{Agent: a.name, Load: atomic.LoadInt64(&a.load)})
+		}
+	}
+}
+
+func (a *Agent) handleExec(req ExecRequest) {
+	resp := ExecResponse{
+		Workflow: req.Workflow,
+		Instance: req.Instance,
+		Step:     req.Step,
+		Mode:     req.Mode,
+	}
+	prog, ok := a.programs.Lookup(req.Program)
+	if !ok {
+		resp.Failed = true
+		resp.Reason = fmt.Sprintf("agent %s: unknown program %q", a.name, req.Program)
+	} else {
+		atomic.AddInt64(&a.load, 1)
+		if a.col != nil {
+			a.col.AddLoad(a.name, req.Mechanism, 1)
+		}
+		out, err := prog(&model.ProgramContext{
+			Workflow: req.Workflow,
+			Instance: req.Instance,
+			Step:     req.Step,
+			Mode:     req.Mode,
+			Attempt:  req.Attempt,
+			Inputs:   req.Inputs,
+			Prev:     req.Prev,
+		})
+		if err != nil {
+			resp.Failed = true
+			resp.Reason = err.Error()
+		} else {
+			resp.Outputs = out
+		}
+	}
+	a.send(req.ReplyTo, req.Mechanism, KindStepResult, resp)
+}
+
+func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any) {
+	_ = a.net.Send(transport.Message{
+		From:      a.name,
+		To:        to,
+		Mechanism: mech,
+		Kind:      kind,
+		Payload:   payload,
+	})
+}

@@ -1,0 +1,94 @@
+package central
+
+import (
+	"crew/internal/coord"
+	"crew/internal/metrics"
+	"crew/internal/model"
+)
+
+// Coordinator is the engine's hook for coordinated-execution requirements.
+// The centralized architecture uses LocalCoordinator (the tracker lives in
+// the engine: zero messages); the parallel architecture substitutes a
+// message-based implementation with a home engine per library.
+//
+// All methods are invoked from the engine goroutine. Check must eventually
+// lead to a CoordResolved call on the engine — synchronously for a local
+// coordinator, via a message round-trip otherwise.
+type Coordinator interface {
+	Check(ref model.StepRef, inst coord.InstanceRef)
+	StepDone(ref model.StepRef, inst coord.InstanceRef)
+	// StepFailed releases coordination resources held for a failed attempt
+	// without advancing relative-order queues.
+	StepFailed(ref model.StepRef, inst coord.InstanceRef)
+	Rollback(workflow string, invalidated []model.StepID)
+	Forget(inst coord.InstanceRef)
+}
+
+// LocalCoordinator answers coordination questions from an in-engine tracker.
+// This is the Table 4 configuration: coordination costs engine load but no
+// physical messages.
+type LocalCoordinator struct {
+	eng     *Engine
+	tracker *coord.Tracker
+}
+
+// NewLocalCoordinator builds the coordinator for a single central engine.
+func NewLocalCoordinator(eng *Engine, tracker *coord.Tracker) *LocalCoordinator {
+	return &LocalCoordinator{eng: eng, tracker: tracker}
+}
+
+func (c *LocalCoordinator) load(units int64) {
+	if c.eng.cfg.Collector != nil {
+		c.eng.cfg.Collector.AddLoad(c.eng.cfg.Name, metrics.Coordination, units)
+	}
+}
+
+// Check implements Coordinator.
+func (c *LocalCoordinator) Check(ref model.StepRef, inst coord.InstanceRef) {
+	c.load(1)
+	waits := c.tracker.OrderWait(ref, inst)
+	grants, mutexWaits := c.tracker.MutexAcquire(ref, inst)
+	waits = append(waits, mutexWaits...)
+	for _, g := range grants {
+		c.eng.injectLocal(g.Target, g.Event)
+	}
+	c.eng.coordResolved(inst, ref.Step, waits)
+}
+
+// StepDone implements Coordinator.
+func (c *LocalCoordinator) StepDone(ref model.StepRef, inst coord.InstanceRef) {
+	c.load(1)
+	for _, inj := range c.tracker.OrderStepDone(ref, inst) {
+		c.eng.injectLocal(inj.Target, inj.Event)
+	}
+	for _, inj := range c.tracker.MutexRelease(ref, inst) {
+		c.eng.injectLocal(inj.Target, inj.Event)
+	}
+}
+
+// StepFailed implements Coordinator.
+func (c *LocalCoordinator) StepFailed(ref model.StepRef, inst coord.InstanceRef) {
+	c.load(1)
+	for _, inj := range c.tracker.MutexRelease(ref, inst) {
+		c.eng.injectLocal(inj.Target, inj.Event)
+	}
+}
+
+// Rollback implements Coordinator.
+func (c *LocalCoordinator) Rollback(workflow string, invalidated []model.StepID) {
+	c.load(1)
+	for _, ord := range c.tracker.RollbackTriggered(workflow, invalidated) {
+		c.eng.applyRollbackOrder(ord)
+	}
+}
+
+// Forget implements Coordinator.
+func (c *LocalCoordinator) Forget(inst coord.InstanceRef) {
+	c.load(1)
+	for _, inj := range c.tracker.OrderForget(inst) {
+		c.eng.injectLocal(inj.Target, inj.Event)
+	}
+	for _, inj := range c.tracker.MutexForget(inst) {
+		c.eng.injectLocal(inj.Target, inj.Event)
+	}
+}

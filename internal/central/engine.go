@@ -1,0 +1,1247 @@
+package central
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"crew/internal/coord"
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/nav"
+	"crew/internal/ocr"
+	"crew/internal/rules"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Name is the engine's node name on the network.
+	Name string
+	// Library holds the deployed schemas and coordination specs. Steps with
+	// empty EligibleAgents are dispatched to any of Agents.
+	Library *model.Library
+	// Agents lists the application agents the engine may dispatch to.
+	Agents []string
+	// Programs resolves step program names.
+	Programs *model.Registry
+	// Collector receives load accounting (may be nil).
+	Collector *metrics.Collector
+	// DB persists instance state; nil disables persistence.
+	DB *wfdb.DB
+	// OnUnhandled, if set, receives messages the engine does not understand
+	// (the parallel architecture routes its coordination protocol here).
+	// Called from the engine goroutine.
+	OnUnhandled func(m transport.Message)
+	// DisableOCR forces the Saga-style complete compensation and complete
+	// re-execution on every revisit (the OCR ablation).
+	DisableOCR bool
+	// Logf, if set, receives diagnostics (compensation failures, dropped
+	// stale results).
+	Logf func(format string, args ...any)
+}
+
+// instState is the engine-side state of one instance.
+type instState struct {
+	ins      *wfdb.Instance
+	schema   *model.Schema
+	rules    *rules.Engine
+	recovery metrics.Mechanism // Normal when not recovering
+
+	dispatched   map[model.StepID]bool
+	staleDrops   map[model.StepID]int
+	coordPending map[model.StepID]bool
+	// coordWaits holds the latest coordination wait-event list per step;
+	// coordBlocked marks steps whose rule fired but whose coordination
+	// events are not yet all valid (retried when injections arrive).
+	coordWaits   map[model.StepID][]string
+	coordBlocked map[model.StepID]bool
+	rollbacks    map[model.StepID]int
+
+	chain        []chainTask
+	chainActive  bool
+	pendingChain *chainTask
+	aborting     bool
+	abortCause   metrics.Mechanism
+
+	childOf map[model.StepID]int // nested step -> child instance ID
+}
+
+// chainTask is one entry of the serialized compensation/re-execution chain.
+type chainTask struct {
+	step model.StepID
+	mode model.ExecMode // ModeCompensate or ModePartialComp
+	then *execPlan      // optional re-execution after this compensation
+}
+
+type execPlan struct {
+	step model.StepID
+	mode model.ExecMode // ModeExecute or ModeIncremental
+}
+
+// Engine is a centralized workflow engine. All state is owned by a single
+// goroutine; external calls go through the command channel.
+type Engine struct {
+	cfg         Config
+	net         *transport.Network
+	ep          *transport.Endpoint
+	coordinator Coordinator
+
+	cmdMu     sync.Mutex
+	cmdQ      []func()
+	cmdNotify chan struct{}
+	wg        sync.WaitGroup
+
+	instances map[string]*instState
+	nextID    map[string]int
+	loads     map[string]int64
+	waiters   map[string][]chan wfdb.Status
+
+	coordSteps map[model.StepRef]bool
+}
+
+// NewEngine registers the engine on the network and starts its goroutine.
+// SetCoordinator must be called before the first workflow starts; the System
+// facade does this.
+func NewEngine(cfg Config, net *transport.Network) (*Engine, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("central: engine needs a name")
+	}
+	if cfg.Library == nil || cfg.Programs == nil {
+		return nil, errors.New("central: engine needs a library and programs")
+	}
+	ep, err := net.Register(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		net:        net,
+		ep:         ep,
+		cmdNotify:  make(chan struct{}, 1),
+		instances:  make(map[string]*instState),
+		nextID:     make(map[string]int),
+		loads:      make(map[string]int64),
+		waiters:    make(map[string][]chan wfdb.Status),
+		coordSteps: make(map[model.StepRef]bool),
+	}
+	tmp := coord.NewTracker(cfg.Library)
+	e.coordSteps = tmp.CoordinatedSteps()
+	e.wg.Add(1)
+	go e.loop()
+	return e, nil
+}
+
+// SetCoordinator installs the coordination hook.
+func (e *Engine) SetCoordinator(c Coordinator) { e.coordinator = c }
+
+// Name returns the engine's node name.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Stop waits for the engine goroutine to exit; the network must be closed
+// first so the inbox drains.
+func (e *Engine) Stop() { e.wg.Wait() }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	} else {
+		log.Printf("central[%s]: "+format, append([]any{e.cfg.Name}, args...)...)
+	}
+}
+
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	inbox := e.ep.Inbox()
+	for {
+		e.drainCmds()
+		select {
+		case m, ok := <-inbox:
+			if !ok {
+				e.drainCmds()
+				return
+			}
+			e.handleMessage(m)
+		case <-e.cmdNotify:
+		}
+	}
+}
+
+func (e *Engine) drainCmds() {
+	for {
+		e.cmdMu.Lock()
+		if len(e.cmdQ) == 0 {
+			e.cmdMu.Unlock()
+			return
+		}
+		f := e.cmdQ[0]
+		e.cmdQ = e.cmdQ[1:]
+		e.cmdMu.Unlock()
+		f()
+	}
+}
+
+func (e *Engine) enqueue(f func()) {
+	e.cmdMu.Lock()
+	e.cmdQ = append(e.cmdQ, f)
+	e.cmdMu.Unlock()
+	select {
+	case e.cmdNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Do runs f on the engine goroutine and waits for it. It must not be called
+// from the engine goroutine itself (use direct calls there).
+func (e *Engine) Do(f func()) {
+	done := make(chan struct{})
+	e.enqueue(func() {
+		defer close(done)
+		f()
+	})
+	<-done
+}
+
+// DoAsync schedules f on the engine goroutine without waiting. Safe to call
+// from any goroutine, including the engine's own.
+func (e *Engine) DoAsync(f func()) {
+	e.enqueue(f)
+}
+
+func (e *Engine) handleMessage(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case ExecResponse:
+		e.onExecResponse(p)
+	case StateResponse:
+		e.loads[p.Agent] = p.Load
+	default:
+		if e.cfg.OnUnhandled != nil {
+			e.cfg.OnUnhandled(m)
+		}
+	}
+}
+
+func (e *Engine) addLoad(m metrics.Mechanism, units int64) {
+	if e.cfg.Collector != nil {
+		e.cfg.Collector.AddLoad(e.cfg.Name, m, units)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Public API (thread-safe)
+
+// ErrUnknownWorkflow reports an unknown class name.
+var ErrUnknownWorkflow = errors.New("central: unknown workflow class")
+
+// ErrUnknownInstance reports an unknown instance.
+var ErrUnknownInstance = errors.New("central: unknown instance")
+
+// ErrNotRunning reports an operation on a committed/aborted instance.
+var ErrNotRunning = errors.New("central: instance is not running")
+
+// Start creates and launches a new instance, returning its ID.
+func (e *Engine) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	var id int
+	var err error
+	e.Do(func() {
+		id, err = e.startLocked(workflow, 0, inputs, nil)
+	})
+	return id, err
+}
+
+// StartWithID launches an instance under an externally assigned ID (used by
+// the parallel architecture's instance partitioning).
+func (e *Engine) StartWithID(workflow string, id int, inputs map[string]expr.Value) error {
+	var err error
+	e.Do(func() {
+		_, err = e.startLocked(workflow, id, inputs, nil)
+	})
+	return err
+}
+
+// Abort requests a user-initiated abort.
+func (e *Engine) Abort(workflow string, id int) error {
+	var err error
+	e.Do(func() {
+		st := e.instances[wfdb.InstanceKeyOf(workflow, id)]
+		if st == nil {
+			err = ErrUnknownInstance
+			return
+		}
+		if st.ins.Status != wfdb.Running {
+			err = ErrNotRunning
+			return
+		}
+		e.addLoad(metrics.Abort, 1)
+		e.abortInstance(st, metrics.Abort)
+	})
+	return err
+}
+
+// ChangeInputs applies user-initiated workflow input changes, rolling back
+// to the earliest step consuming a changed input and re-executing forward
+// with the OCR strategy.
+func (e *Engine) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	var err error
+	e.Do(func() {
+		err = e.changeInputsLocked(workflow, id, inputs)
+	})
+	return err
+}
+
+// Status reports an instance's status.
+func (e *Engine) Status(workflow string, id int) (wfdb.Status, bool) {
+	var s wfdb.Status
+	var ok bool
+	e.Do(func() {
+		if st := e.instances[wfdb.InstanceKeyOf(workflow, id)]; st != nil {
+			s, ok = st.ins.Status, true
+		} else if e.cfg.DB != nil {
+			if sum, found, _ := e.cfg.DB.LoadSummary(workflow, id); found {
+				s, ok = sum, true
+			}
+		}
+	})
+	return s, ok
+}
+
+// WaitChan returns a channel that receives the instance's terminal status.
+func (e *Engine) WaitChan(workflow string, id int) <-chan wfdb.Status {
+	ch := make(chan wfdb.Status, 1)
+	e.Do(func() {
+		key := wfdb.InstanceKeyOf(workflow, id)
+		st := e.instances[key]
+		if st != nil && st.ins.Status != wfdb.Running {
+			ch <- st.ins.Status
+			return
+		}
+		if st == nil && e.cfg.DB != nil {
+			if sum, found, _ := e.cfg.DB.LoadSummary(workflow, id); found && sum != wfdb.Running {
+				ch <- sum
+				return
+			}
+		}
+		e.waiters[key] = append(e.waiters[key], ch)
+	})
+	return ch
+}
+
+// Snapshot returns a deep copy of an instance's state for inspection.
+func (e *Engine) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
+	var out *wfdb.Instance
+	e.Do(func() {
+		if st := e.instances[wfdb.InstanceKeyOf(workflow, id)]; st != nil {
+			out = st.ins.Clone()
+		}
+	})
+	return out, out != nil
+}
+
+// Owns reports whether this engine manages the instance.
+func (e *Engine) Owns(workflow string, id int) bool {
+	var ok bool
+	e.Do(func() {
+		_, ok = e.instances[wfdb.InstanceKeyOf(workflow, id)]
+	})
+	return ok
+}
+
+// InjectEvent posts an event into an instance's event table (used by remote
+// coordinators) and re-evaluates its rules.
+func (e *Engine) InjectEvent(workflow string, id int, name string) {
+	e.DoAsync(func() {
+		e.injectLocal(coord.InstanceRef{Workflow: workflow, ID: id}, name)
+	})
+}
+
+// ResolveCoord delivers a coordination check result (remote coordinators).
+func (e *Engine) ResolveCoord(workflow string, id int, step model.StepID, waitEvents []string) {
+	e.DoAsync(func() {
+		e.coordResolved(coord.InstanceRef{Workflow: workflow, ID: id}, step, waitEvents)
+	})
+}
+
+// ApplyRollbackOrder rolls running instances of a class back to a step
+// (rollback-dependency enforcement; remote coordinators).
+func (e *Engine) ApplyRollbackOrder(ord coord.RollbackOrder) {
+	e.DoAsync(func() {
+		e.applyRollbackOrder(ord)
+	})
+}
+
+// Recover performs the forward recovery the WFDB exists for (paper §2):
+// after an engine failure, a fresh engine reloads every running instance
+// from the database, regenerates its rule set, resets steps that were
+// dispatched but whose results died with the old engine, and resumes
+// navigation. Steps whose results are on file are revisited through the OCR
+// strategy, so unchanged work is reused rather than redone. It returns the
+// number of instances resumed.
+func (e *Engine) Recover() (int, error) {
+	var n int
+	var err error
+	e.Do(func() {
+		n, err = e.recoverLocked()
+	})
+	return n, err
+}
+
+func (e *Engine) recoverLocked() (int, error) {
+	if e.cfg.DB == nil {
+		return 0, errors.New("central: recovery needs a database")
+	}
+	resumed := 0
+	for _, key := range e.cfg.DB.InstanceKeys() {
+		workflow, id, err := wfdb.ParseInstanceKey(key)
+		if err != nil {
+			e.logf("recover: %v", err)
+			continue
+		}
+		if _, live := e.instances[key]; live {
+			continue
+		}
+		ins, ok, err := e.cfg.DB.LoadInstance(workflow, id)
+		if err != nil || !ok {
+			if err != nil {
+				e.logf("recover %s: %v", key, err)
+			}
+			continue
+		}
+		if ins.Status != wfdb.Running {
+			continue
+		}
+		schema := e.cfg.Library.Schema(workflow)
+		if schema == nil {
+			e.logf("recover %s: unknown workflow class", key)
+			continue
+		}
+		// Results of steps that were executing at the crash are lost.
+		for _, rec := range ins.Steps {
+			if rec.Status == wfdb.StepExecuting {
+				rec.Status = wfdb.StepPending
+			}
+		}
+		st := &instState{
+			ins:          ins,
+			schema:       schema,
+			rules:        rules.NewEngine(),
+			recovery:     metrics.Normal,
+			dispatched:   make(map[model.StepID]bool),
+			staleDrops:   make(map[model.StepID]int),
+			coordPending: make(map[model.StepID]bool),
+			coordWaits:   make(map[model.StepID][]string),
+			coordBlocked: make(map[model.StepID]bool),
+			rollbacks:    make(map[model.StepID]int),
+			childOf:      make(map[model.StepID]int),
+		}
+		rules.InstallSchemaRules(st.rules, schema)
+		e.instances[key] = st
+		if id > e.nextID[workflow] {
+			e.nextID[workflow] = id
+		}
+		resumed++
+		e.addLoad(metrics.Normal, 1)
+		e.evaluate(st)
+	}
+	return resumed, nil
+}
+
+// ---------------------------------------------------------------------------
+// Instance lifecycle (engine goroutine only)
+
+func (e *Engine) startLocked(workflow string, id int, inputs map[string]expr.Value, parent *wfdb.ParentRef) (int, error) {
+	schema := e.cfg.Library.Schema(workflow)
+	if schema == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownWorkflow, workflow)
+	}
+	if id == 0 {
+		e.nextID[workflow]++
+		id = e.nextID[workflow]
+	} else if id > e.nextID[workflow] {
+		e.nextID[workflow] = id
+	}
+	key := wfdb.InstanceKeyOf(workflow, id)
+	if _, dup := e.instances[key]; dup {
+		return 0, fmt.Errorf("central: instance %s already exists", key)
+	}
+	ins := wfdb.NewInstance(workflow, id, inputs)
+	ins.Parent = parent
+	st := &instState{
+		ins:          ins,
+		schema:       schema,
+		rules:        rules.NewEngine(),
+		recovery:     metrics.Normal,
+		dispatched:   make(map[model.StepID]bool),
+		staleDrops:   make(map[model.StepID]int),
+		coordPending: make(map[model.StepID]bool),
+		coordWaits:   make(map[model.StepID][]string),
+		coordBlocked: make(map[model.StepID]bool),
+		rollbacks:    make(map[model.StepID]int),
+		childOf:      make(map[model.StepID]int),
+	}
+	rules.InstallSchemaRules(st.rules, schema)
+	e.instances[key] = st
+	e.addLoad(metrics.Normal, 1) // WorkflowStart processing
+	if e.cfg.DB != nil {
+		if err := e.cfg.DB.SaveSummary(workflow, id, wfdb.Running); err != nil {
+			e.logf("save summary %s: %v", key, err)
+		}
+	}
+	ins.Events.Post(event.WorkflowStartName)
+	e.evaluate(st)
+	return id, nil
+}
+
+func (e *Engine) changeInputsLocked(workflow string, id int, inputs map[string]expr.Value) error {
+	st := e.instances[wfdb.InstanceKeyOf(workflow, id)]
+	if st == nil {
+		return ErrUnknownInstance
+	}
+	if st.ins.Status != wfdb.Running {
+		return ErrNotRunning
+	}
+	e.addLoad(metrics.InputChange, 1)
+	changed := make(map[string]bool)
+	for name, v := range inputs {
+		full := model.WorkflowInput(name)
+		if old, ok := st.ins.Data[full]; !ok || !old.Equal(v) {
+			changed[full] = true
+			st.ins.Data[full] = v
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	// Roll back to the earliest step consuming a changed input; OCR decides
+	// per revisited step whether re-execution is actually needed.
+	var origin model.StepID
+	for _, sid := range st.schema.TopoOrder() {
+		for _, in := range st.schema.Steps[sid].Inputs {
+			if changed[in] {
+				origin = sid
+				break
+			}
+		}
+		if origin != "" {
+			break
+		}
+	}
+	if origin == "" {
+		return nil // no step consumes the changed inputs
+	}
+	e.rollbackTo(st, origin, metrics.InputChange)
+	e.evaluate(st)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule evaluation and dispatch
+
+func (e *Engine) evaluate(st *instState) {
+	if st.ins.Status != wfdb.Running {
+		return
+	}
+	for {
+		if st.aborting {
+			return
+		}
+		fired, err := st.rules.Evaluate(st.ins.Events, st.ins.Env())
+		if err != nil {
+			e.logf("instance %s: %v", st.ins.Key(), err)
+		}
+		progressed := false
+		for _, r := range fired {
+			switch r.Action.Kind {
+			case rules.ActExecute:
+				if e.maybeExecute(st, r.Action.Step) {
+					progressed = true
+				}
+			case rules.ActNotify:
+				if r.Action.Fn != nil {
+					r.Action.Fn()
+				}
+				progressed = true
+			case rules.ActCompensate:
+				st.chain = append(st.chain, chainTask{step: r.Action.Step, mode: model.ModeCompensate})
+				e.pumpChain(st)
+				progressed = true
+			case rules.ActAbort:
+				e.abortInstance(st, st.recovery)
+				return
+			}
+		}
+		e.maybeCommit(st)
+		if len(fired) == 0 || !progressed {
+			return
+		}
+	}
+}
+
+// resolveInputs reads a step's declared inputs from the data table.
+func resolveInputs(st *instState, s *model.Step) map[string]expr.Value {
+	in := make(map[string]expr.Value, len(s.Inputs))
+	for _, name := range s.Inputs {
+		if v, ok := st.ins.Data[name]; ok {
+			in[name] = v
+		}
+	}
+	return in
+}
+
+// maybeExecute handles a fired execution rule; it returns true if state
+// changed synchronously (OCR reuse) so evaluation should continue.
+func (e *Engine) maybeExecute(st *instState, step model.StepID) bool {
+	if st.ins.Status != wfdb.Running || st.aborting || st.dispatched[step] {
+		return false
+	}
+	rec := st.ins.Steps[step]
+	if rec != nil && rec.Status == wfdb.StepExecuting {
+		return false
+	}
+	s := st.schema.Steps[step]
+	if s == nil {
+		return false
+	}
+
+	// Coordinated-execution gate: the step may proceed only when the home
+	// tracker has answered (coordWaits known) and every wait event (mutex
+	// grants, relative-order releases) is valid. Blocked steps are retried
+	// directly when injections arrive — rules are never strengthened, so a
+	// later invalidation can never wedge the instance.
+	ref := model.StepRef{Workflow: st.ins.Workflow, Step: step}
+	if e.coordSteps[ref] && e.coordinator != nil {
+		waits, known := st.coordWaits[step]
+		if !known {
+			st.coordBlocked[step] = true
+			if !st.coordPending[step] {
+				st.coordPending[step] = true
+				e.coordinator.Check(ref, coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
+			}
+			return false
+		}
+		for _, ev := range waits {
+			if !st.ins.Events.Has(ev) {
+				st.coordBlocked[step] = true
+				return false
+			}
+		}
+		st.coordBlocked[step] = false
+	}
+
+	inputs := resolveInputs(st, s)
+
+	// OCR: the step may have a previous execution whose results stand.
+	if rec != nil && rec.HasResult {
+		mech := st.recovery
+		if mech == metrics.Normal {
+			mech = metrics.Failure
+		}
+		var d ocr.Decision
+		if e.cfg.DisableOCR {
+			d = ocr.CompleteCR
+		} else {
+			var derr error
+			d, derr = ocr.Decide(s, rec, inputs, st.ins.Env())
+			if derr != nil {
+				e.logf("instance %s step %s: %v", st.ins.Key(), step, derr)
+			}
+		}
+		e.addLoad(mech, 1) // condition check + bookkeeping
+		switch d {
+		case ocr.Reuse:
+			st.ins.RecordDone(step, rec.Outputs)
+			e.afterStepDone(st, step)
+			return true
+		case ocr.CompleteCR:
+			plan := ocr.PlanCompensation(st.schema, st.ins, step)
+			e.enqueueCompChain(st, plan, &execPlan{step: step, mode: model.ModeExecute})
+			return false
+		case ocr.IncrementalCR:
+			st.chain = append(st.chain, chainTask{
+				step: step,
+				mode: model.ModePartialComp,
+				then: &execPlan{step: step, mode: model.ModeIncremental},
+			})
+			e.pumpChain(st)
+			return false
+		}
+		// ExecuteFresh falls through.
+	}
+
+	e.dispatchStep(st, step, model.ModeExecute, inputs, nil)
+	return false
+}
+
+// enqueueCompChain queues compensations for plan (already in compensation
+// order) attaching the re-execution to the last entry.
+func (e *Engine) enqueueCompChain(st *instState, plan []model.StepID, then *execPlan) {
+	for i, cid := range plan {
+		t := chainTask{step: cid, mode: model.ModeCompensate}
+		if i == len(plan)-1 {
+			t.then = then
+		}
+		st.chain = append(st.chain, t)
+	}
+	e.pumpChain(st)
+}
+
+// stepMechanism classifies a dispatch: re-executions and recovery work count
+// under the recovery cause; fresh forward progress is Normal.
+func (e *Engine) stepMechanism(st *instState, step model.StepID) metrics.Mechanism {
+	rec := st.ins.Steps[step]
+	if rec != nil && rec.Attempts > 0 && st.recovery != metrics.Normal {
+		return st.recovery
+	}
+	return metrics.Normal
+}
+
+// effectiveAgents returns the agents eligible for a step.
+func (e *Engine) effectiveAgents(s *model.Step) []string {
+	if len(s.EligibleAgents) > 0 {
+		return s.EligibleAgents
+	}
+	return e.cfg.Agents
+}
+
+// chooseAgent probes the non-chosen eligible agents (2(a-1) messages) and
+// dispatch+result make the per-step total 2a, matching the paper's
+// centralized message model. Selection is least cached load, ties broken
+// lexically.
+func (e *Engine) chooseAgent(s *model.Step, mech metrics.Mechanism) string {
+	elig := e.effectiveAgents(s)
+	best := ""
+	for _, a := range elig {
+		if !e.net.Alive(a) {
+			continue
+		}
+		if best == "" || e.loads[a] < e.loads[best] || (e.loads[a] == e.loads[best] && a < best) {
+			best = a
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	for _, a := range elig {
+		if a == best || !e.net.Alive(a) {
+			continue
+		}
+		e.send(a, mech, KindStateInformation, StateRequest{ReplyTo: e.cfg.Name, Mechanism: mech})
+	}
+	return best
+}
+
+func (e *Engine) dispatchStep(st *instState, step model.StepID, mode model.ExecMode, inputs map[string]expr.Value, prev *model.PrevExecution) {
+	s := st.schema.Steps[step]
+	mech := e.stepMechanism(st, step)
+	e.addLoad(mech, 1) // navigation/scheduling
+
+	if s.Nested != "" {
+		e.startNested(st, step, inputs)
+		return
+	}
+
+	agent := e.chooseAgent(s, mech)
+	if agent == "" {
+		e.logf("instance %s step %s: no eligible agent alive", st.ins.Key(), step)
+		return
+	}
+	if mode == model.ModeIncremental && prev == nil {
+		prev = st.ins.StepRec(step).Prev()
+	}
+	st.ins.RecordExecuting(step, agent, inputs)
+	st.dispatched[step] = true
+	e.loads[agent]++ // optimistic cache update
+	e.send(agent, mech, KindStepExecute, ExecRequest{
+		Workflow:  st.ins.Workflow,
+		Instance:  st.ins.ID,
+		Step:      step,
+		Program:   s.Program,
+		Mode:      mode,
+		Attempt:   st.ins.StepRec(step).Attempts,
+		Inputs:    inputs,
+		Prev:      prev,
+		Mechanism: mech,
+		ReplyTo:   e.cfg.Name,
+	})
+}
+
+func (e *Engine) send(to string, mech metrics.Mechanism, kind string, payload any) {
+	if err := e.net.Send(transport.Message{
+		From:      e.cfg.Name,
+		To:        to,
+		Mechanism: mech,
+		Kind:      kind,
+		Payload:   payload,
+	}); err != nil {
+		e.logf("send %s to %s: %v", kind, to, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Results
+
+func (e *Engine) onExecResponse(r ExecResponse) {
+	st := e.instances[wfdb.InstanceKeyOf(r.Workflow, r.Instance)]
+	if st == nil {
+		return
+	}
+	switch r.Mode {
+	case model.ModeCompensate, model.ModePartialComp:
+		e.onCompResult(st, r)
+	default:
+		e.onStepResult(st, r)
+	}
+}
+
+func (e *Engine) onStepResult(st *instState, r ExecResponse) {
+	if st.staleDrops[r.Step] > 0 {
+		st.staleDrops[r.Step]--
+		return
+	}
+	st.dispatched[r.Step] = false
+	mech := e.stepMechanism(st, r.Step)
+	e.addLoad(mech, 1) // result processing
+
+	if st.ins.Status != wfdb.Running {
+		return
+	}
+	if r.Failed {
+		st.ins.RecordFailed(r.Step)
+		ref := model.StepRef{Workflow: st.ins.Workflow, Step: r.Step}
+		if e.coordSteps[ref] && e.coordinator != nil {
+			// Release any mutex held for the attempt; the order queues are
+			// not advanced for a failed step.
+			e.coordinator.StepFailed(ref, coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
+			e.clearMutexGrants(st, r.Step)
+			delete(st.coordWaits, r.Step)
+		}
+		e.handleStepFailure(st, r.Step)
+		return
+	}
+	st.ins.RecordDone(r.Step, r.Outputs)
+	e.afterStepDone(st, r.Step)
+	e.evaluate(st)
+}
+
+// afterStepDone runs the shared post-success navigation: recovery exit,
+// branch-switch compensation, coordination notifications, loop arcs, commit
+// checks and persistence. Callers re-evaluate afterwards (evaluate is
+// reentrant-safe from the engine goroutine).
+func (e *Engine) afterStepDone(st *instState, step model.StepID) {
+	rec := st.ins.StepRec(step)
+
+	// Exiting the recovery region: a first-time execution means the
+	// workflow moved past everything it had executed before.
+	if st.recovery != metrics.Normal && rec.Attempts <= 1 {
+		st.recovery = metrics.Normal
+	}
+
+	// Branch switch after re-execution: compensate abandoned branches
+	// (the CompensateThread of distributed control, done engine-side here).
+	if st.schema.IsBranching(step) && rec.Attempts > 1 {
+		taken := nav.ActiveBranchTargets(st.schema, st.ins, step)
+		abandoned := nav.AbandonedBranchSteps(st.schema, st.ins, step, taken)
+		if len(abandoned) > 0 {
+			ordered := st.ins.ResultMembersInOrder(abandoned)
+			for i := len(ordered) - 1; i >= 0; i-- {
+				st.chain = append(st.chain, chainTask{step: ordered[i], mode: model.ModeCompensate})
+			}
+			e.pumpChain(st)
+		}
+	}
+
+	// Coordination: advance order queues, release mutexes.
+	ref := model.StepRef{Workflow: st.ins.Workflow, Step: step}
+	if e.coordSteps[ref] && e.coordinator != nil {
+		e.coordinator.StepDone(ref, coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
+		e.clearMutexGrants(st, step)
+		delete(st.coordWaits, step) // a revisit must re-acquire
+	}
+
+	// Loop arcs: iterate when the repeat condition holds.
+	for _, a := range st.schema.LoopArcs(step) {
+		cond, err := expr.Compile(a.Cond)
+		if err != nil {
+			continue
+		}
+		if ok, err := cond.EvalBool(st.ins.Env()); err == nil && ok {
+			e.addLoad(metrics.Normal, 1)
+			body := nav.ApplyLoopBack(st.schema, st.ins, st.rules, a.To, step)
+			e.resetDispatchState(st, body)
+		}
+	}
+
+	e.persist(st)
+}
+
+// clearMutexGrants invalidates the instance's mutex grant events for a step
+// so a later re-execution must re-acquire.
+func (e *Engine) clearMutexGrants(st *instState, step model.StepID) {
+	suffix := ":" + string(step)
+	st.ins.Events.InvalidateWhere(func(name string) bool {
+		return strings.HasPrefix(name, "mx:") && strings.HasSuffix(name, suffix)
+	})
+}
+
+func (e *Engine) resetDispatchState(st *instState, steps []model.StepID) {
+	for _, id := range steps {
+		if st.dispatched[id] {
+			st.staleDrops[id]++
+			st.dispatched[id] = false
+		}
+		delete(st.coordWaits, id)
+		st.coordBlocked[id] = false
+		st.coordPending[id] = false
+		e.clearMutexGrants(st, id)
+		// A reset step whose result will be dropped can no longer release
+		// coordination resources itself; release them here (release by a
+		// non-holder is a no-op).
+		ref := model.StepRef{Workflow: st.ins.Workflow, Step: id}
+		if e.coordSteps[ref] && e.coordinator != nil {
+			e.coordinator.StepFailed(ref, coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
+		}
+	}
+}
+
+func (e *Engine) handleStepFailure(st *instState, step model.StepID) {
+	pol, ok := st.schema.OnFailure[step]
+	st.rollbacks[step]++
+	if !ok || st.rollbacks[step] > pol.Attempts() {
+		e.abortInstance(st, metrics.Failure)
+		return
+	}
+	st.recovery = metrics.Failure
+	e.rollbackTo(st, pol.RollbackTo, metrics.Failure)
+	e.evaluate(st)
+}
+
+// rollbackTo applies a partial rollback: descendants of origin (and origin)
+// are reset, coordination is informed, dependent workflows roll back too.
+func (e *Engine) rollbackTo(st *instState, origin model.StepID, cause metrics.Mechanism) {
+	st.recovery = cause
+	affected, invalidated := nav.ApplyRollback(st.schema, st.ins, st.rules, origin)
+	e.addLoad(cause, int64(len(affected))+1)
+	_ = invalidated
+	all := append(append([]model.StepID(nil), affected...), origin)
+	e.resetDispatchState(st, all)
+	if e.coordinator != nil {
+		e.coordinator.Rollback(st.ins.Workflow, all)
+	}
+	e.persist(st)
+}
+
+// applyRollbackOrder enforces a rollback dependency on this engine's running
+// instances of the target class.
+func (e *Engine) applyRollbackOrder(ord coord.RollbackOrder) {
+	for _, st := range e.instances {
+		if st.ins.Workflow != ord.TargetWorkflow || st.ins.Status != wfdb.Running || st.aborting {
+			continue
+		}
+		if st.recovery != metrics.Normal {
+			continue // already recovering; guards against dependency cycles
+		}
+		rec := st.ins.Steps[ord.TargetStep]
+		if rec == nil || rec.Attempts == 0 {
+			continue // has not reached the target step yet
+		}
+		e.addLoad(metrics.Coordination, 1)
+		e.rollbackTo(st, ord.TargetStep, metrics.Failure)
+		e.evaluate(st)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compensation chain
+
+func (e *Engine) pumpChain(st *instState) {
+	for !st.chainActive {
+		if len(st.chain) == 0 {
+			if st.aborting {
+				e.finalizeAbort(st)
+			} else {
+				e.maybeCommit(st)
+			}
+			return
+		}
+		task := st.chain[0]
+		st.chain = st.chain[1:]
+		rec := st.ins.Steps[task.step]
+		s := st.schema.Steps[task.step]
+		needsWork := rec != nil && rec.HasResult && s != nil && s.Compensation != ""
+		if task.mode == model.ModePartialComp {
+			needsWork = needsWork && s.Incremental
+		}
+		if !needsWork {
+			// Nothing to undo (never executed, not compensable, or already
+			// compensated): complete the task inline.
+			if rec != nil && rec.HasResult && task.mode == model.ModeCompensate && (s == nil || s.Compensation == "") {
+				// Not compensable but has results: just drop the marker so
+				// re-execution proceeds.
+				st.ins.RecordCompensated(task.step)
+			}
+			e.finishChainTask(st, task)
+			continue
+		}
+		mech := st.recovery
+		if st.aborting {
+			mech = st.abortCause
+		}
+		if mech == metrics.Normal {
+			mech = metrics.Failure
+		}
+		agent := rec.Agent
+		if agent == "" || !e.net.Alive(agent) {
+			agent = e.chooseAgent(s, mech)
+		}
+		if agent == "" {
+			e.logf("instance %s: no agent to compensate %s", st.ins.Key(), task.step)
+			e.finishChainTask(st, task)
+			continue
+		}
+		st.chainActive = true
+		st.pendingChain = &task
+		e.addLoad(mech, 1)
+		e.send(agent, mech, KindStepCompensate, ExecRequest{
+			Workflow:  st.ins.Workflow,
+			Instance:  st.ins.ID,
+			Step:      task.step,
+			Program:   s.Compensation,
+			Mode:      task.mode,
+			Attempt:   rec.Attempts,
+			Inputs:    rec.Inputs,
+			Prev:      rec.Prev(),
+			Mechanism: mech,
+			ReplyTo:   e.cfg.Name,
+		})
+	}
+}
+
+func (e *Engine) onCompResult(st *instState, r ExecResponse) {
+	task := st.pendingChain
+	st.chainActive = false
+	st.pendingChain = nil
+	if task == nil || task.step != r.Step {
+		e.logf("instance %s: unexpected compensation result for %s", st.ins.Key(), r.Step)
+		return
+	}
+	mech := st.recovery
+	if st.aborting {
+		mech = st.abortCause
+	}
+	if mech == metrics.Normal {
+		mech = metrics.Failure
+	}
+	e.addLoad(mech, 1)
+	if r.Failed {
+		e.logf("instance %s: compensation of %s failed: %s", st.ins.Key(), r.Step, r.Reason)
+	}
+	if r.Mode == model.ModeCompensate {
+		st.ins.RecordCompensated(r.Step)
+	}
+	e.persist(st)
+	e.finishChainTask(st, *task)
+}
+
+func (e *Engine) finishChainTask(st *instState, task chainTask) {
+	if task.then != nil && !st.aborting && st.ins.Status == wfdb.Running {
+		s := st.schema.Steps[task.then.step]
+		if s != nil {
+			inputs := resolveInputs(st, s)
+			prev := st.ins.StepRec(task.then.step).Prev()
+			e.dispatchStep(st, task.then.step, task.then.mode, inputs, prev)
+		}
+	}
+	e.pumpChain(st)
+}
+
+// ---------------------------------------------------------------------------
+// Abort / commit / nested
+
+func (e *Engine) abortInstance(st *instState, cause metrics.Mechanism) {
+	if st.aborting || st.ins.Status != wfdb.Running {
+		return
+	}
+	st.aborting = true
+	st.abortCause = cause
+	if st.abortCause == metrics.Normal {
+		st.abortCause = metrics.Abort
+	}
+	// Drop any queued chain work; abort compensation takes over.
+	st.chain = nil
+
+	var candidates []model.StepID
+	if len(st.schema.AbortCompensate) > 0 {
+		candidates = st.schema.AbortCompensate
+	} else {
+		for _, id := range st.schema.Order {
+			if st.schema.Steps[id].Compensable() {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	ordered := st.ins.ResultMembersInOrder(candidates)
+	for i := len(ordered) - 1; i >= 0; i-- {
+		st.chain = append(st.chain, chainTask{step: ordered[i], mode: model.ModeCompensate})
+	}
+	e.pumpChain(st)
+}
+
+func (e *Engine) finalizeAbort(st *instState) {
+	if st.ins.Status != wfdb.Running {
+		return
+	}
+	st.ins.Status = wfdb.Aborted
+	st.ins.Events.Post(event.WorkflowAbortName)
+	e.finishInstance(st)
+}
+
+func (e *Engine) maybeCommit(st *instState) {
+	if st.aborting || !nav.ShouldCommit(st.schema, st.ins) {
+		return
+	}
+	// A workflow with an active compensation chain is not quiescent.
+	if st.chainActive || len(st.chain) > 0 {
+		return
+	}
+	e.addLoad(metrics.Normal, 1)
+	st.ins.Status = wfdb.Committed
+	st.ins.Events.Post(event.WorkflowDoneName)
+	e.finishInstance(st)
+}
+
+func (e *Engine) finishInstance(st *instState) {
+	key := st.ins.Key()
+	if e.cfg.DB != nil {
+		if err := e.cfg.DB.SaveSummary(st.ins.Workflow, st.ins.ID, st.ins.Status); err != nil {
+			e.logf("summary %s: %v", key, err)
+		}
+		if err := e.cfg.DB.Archive(st.ins); err != nil {
+			e.logf("archive %s: %v", key, err)
+		}
+	}
+	if e.coordinator != nil {
+		e.coordinator.Forget(coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
+	}
+	for _, ch := range e.waiters[key] {
+		ch <- st.ins.Status
+	}
+	delete(e.waiters, key)
+
+	// Nested workflows: hand the result to the parent step.
+	if p := st.ins.Parent; p != nil {
+		if parent := e.instances[wfdb.InstanceKeyOf(p.Workflow, p.ID)]; parent != nil {
+			e.onChildFinished(parent, p.Step, st)
+		}
+	}
+}
+
+func (e *Engine) startNested(st *instState, step model.StepID, inputs map[string]expr.Value) {
+	s := st.schema.Steps[step]
+	child := e.cfg.Library.Schema(s.Nested)
+	if child == nil {
+		e.logf("instance %s step %s: unknown nested workflow %q", st.ins.Key(), step, s.Nested)
+		return
+	}
+	// Positional input mapping: the i-th declared step input feeds the
+	// child's i-th workflow input.
+	childInputs := make(map[string]expr.Value)
+	for i, in := range s.Inputs {
+		if i >= len(child.Inputs) {
+			break
+		}
+		if v, ok := st.ins.Data[in]; ok {
+			childInputs[child.Inputs[i]] = v
+		}
+	}
+	st.ins.RecordExecuting(step, e.cfg.Name, inputs)
+	st.dispatched[step] = true
+	id, err := e.startLocked(s.Nested, 0, childInputs, &wfdb.ParentRef{
+		Workflow: st.ins.Workflow,
+		ID:       st.ins.ID,
+		Step:     step,
+	})
+	if err != nil {
+		e.logf("instance %s step %s: nested start: %v", st.ins.Key(), step, err)
+		st.dispatched[step] = false
+		return
+	}
+	st.childOf[step] = id
+}
+
+// onChildFinished resumes the parent step when its nested workflow ends.
+func (e *Engine) onChildFinished(parent *instState, step model.StepID, child *instState) {
+	parent.dispatched[step] = false
+	e.addLoad(metrics.Normal, 1)
+	if parent.ins.Status != wfdb.Running {
+		return
+	}
+	if child.ins.Status != wfdb.Committed {
+		parent.ins.RecordFailed(step)
+		e.handleStepFailure(parent, step)
+		return
+	}
+	// Output mapping: output o of the nested step takes the value of
+	// <terminal>.<o> from the child's data table (first terminal that
+	// produced it, in definition order).
+	s := parent.schema.Steps[step]
+	outputs := make(map[string]expr.Value, len(s.Outputs))
+	for _, o := range s.Outputs {
+		for _, term := range child.schema.TerminalSteps() {
+			if v, ok := child.ins.Data[term.Ref(o)]; ok {
+				outputs[o] = v
+				break
+			}
+		}
+	}
+	parent.ins.RecordDone(step, outputs)
+	e.afterStepDone(parent, step)
+	e.evaluate(parent)
+}
+
+func (e *Engine) persist(st *instState) {
+	if e.cfg.DB == nil {
+		return
+	}
+	if err := e.cfg.DB.SaveInstance(st.ins); err != nil {
+		e.logf("persist %s: %v", st.ins.Key(), err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coordination callbacks (engine goroutine only)
+
+func (e *Engine) injectLocal(target coord.InstanceRef, eventName string) {
+	st := e.instances[wfdb.InstanceKeyOf(target.Workflow, target.ID)]
+	if st == nil {
+		return
+	}
+	e.addLoad(metrics.Coordination, 1)
+	if st.ins.Events.Post(eventName) {
+		e.retryBlocked(st)
+		e.evaluate(st)
+	}
+}
+
+// retryBlocked re-attempts coordination-blocked steps after new events.
+func (e *Engine) retryBlocked(st *instState) {
+	for step, blocked := range st.coordBlocked {
+		if blocked {
+			e.maybeExecute(st, step)
+		}
+	}
+}
+
+func (e *Engine) coordResolved(inst coord.InstanceRef, step model.StepID, waitEvents []string) {
+	st := e.instances[wfdb.InstanceKeyOf(inst.Workflow, inst.ID)]
+	if st == nil {
+		return
+	}
+	st.coordPending[step] = false
+	st.coordWaits[step] = waitEvents
+	e.maybeExecute(st, step)
+	e.evaluate(st)
+}

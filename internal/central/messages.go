@@ -1,0 +1,68 @@
+// Package central implements the centralized workflow control architecture
+// (paper §2-3): a single workflow engine owns all workflow state in the
+// WFDB, navigates every instance through the rule-based run-time, and
+// dispatches steps to application agents, probing eligible agents' state to
+// pick the least loaded. Coordinated execution needs no messages here — the
+// ordering/mutex/rollback-dependency state lives inside the engine — which
+// is exactly the property Table 4 reports (0 coordination messages).
+//
+// The same engine is reused by the parallel architecture (package parallel),
+// which runs several engines side by side and replaces the local Coordinator
+// with a message-based one.
+package central
+
+import (
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+)
+
+// ExecRequest asks an agent to run a step program (or its compensation).
+type ExecRequest struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	Program  string
+	Mode     model.ExecMode
+	Attempt  int
+	Inputs   map[string]expr.Value
+	Prev     *model.PrevExecution
+	// Mechanism tags the reply so failure-handling traffic is counted in
+	// the right class.
+	Mechanism metrics.Mechanism
+	// ReplyTo names the engine to answer.
+	ReplyTo string
+}
+
+// ExecResponse returns a step execution's outcome.
+type ExecResponse struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	Mode     model.ExecMode
+	Outputs  map[string]expr.Value
+	Failed   bool
+	Reason   string
+}
+
+// StateRequest probes an agent's state (the StateInformation() WI); the
+// engine uses the responses to pick the least-loaded eligible agent.
+type StateRequest struct {
+	ReplyTo   string
+	Mechanism metrics.Mechanism
+}
+
+// StateResponse reports an agent's current load.
+type StateResponse struct {
+	Agent string
+	Load  int64
+}
+
+// Message kind labels used for tracing.
+const (
+	KindStepExecute      = "StepExecute"
+	KindStepCompensate   = "StepCompensate"
+	KindStepResult       = "StepResult"
+	KindStateInformation = "StateInformation"
+	KindStateResponse    = "StateResponse"
+)

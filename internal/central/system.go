@@ -1,0 +1,155 @@
+package central
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crew/internal/coord"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+// SystemConfig parameterizes a complete centralized deployment: one engine
+// plus its application agents, on a private network.
+type SystemConfig struct {
+	Library   *model.Library
+	Programs  *model.Registry
+	Collector *metrics.Collector
+	DB        *wfdb.DB
+	// Agents lists agent node names; empty derives them from the library's
+	// eligible-agent declarations, defaulting to two agents.
+	Agents []string
+	// EngineName defaults to "engine".
+	EngineName string
+	// DisableOCR forces Saga-style recovery (ablation).
+	DisableOCR bool
+	Logf       func(format string, args ...any)
+}
+
+// System is a running centralized WFMS.
+type System struct {
+	Engine *Engine
+	net    *transport.Network
+	agents []*Agent
+	col    *metrics.Collector
+}
+
+// NewSystem builds and starts a centralized deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Library == nil {
+		return nil, errors.New("central: system needs a library")
+	}
+	if err := cfg.Library.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Programs == nil {
+		return nil, errors.New("central: system needs a program registry")
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector()
+	}
+	if cfg.EngineName == "" {
+		cfg.EngineName = "engine"
+	}
+	agents := cfg.Agents
+	if len(agents) == 0 {
+		agents = cfg.Library.SortedAgents()
+	}
+	if len(agents) == 0 {
+		agents = []string{"agent1", "agent2"}
+	}
+
+	net := transport.New(cfg.Collector)
+	eng, err := NewEngine(Config{
+		Name:       cfg.EngineName,
+		Library:    cfg.Library,
+		Agents:     agents,
+		Programs:   cfg.Programs,
+		Collector:  cfg.Collector,
+		DB:         cfg.DB,
+		DisableOCR: cfg.DisableOCR,
+		Logf:       cfg.Logf,
+	}, net)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	eng.SetCoordinator(NewLocalCoordinator(eng, coord.NewTracker(cfg.Library)))
+
+	sys := &System{Engine: eng, net: net, col: cfg.Collector}
+	for _, name := range agents {
+		ag, err := NewAgent(name, net, cfg.Programs, cfg.Collector)
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("central: agent %s: %w", name, err)
+		}
+		sys.agents = append(sys.agents, ag)
+	}
+	return sys, nil
+}
+
+// Collector returns the system's metrics collector.
+func (s *System) Collector() *metrics.Collector { return s.col }
+
+// Network exposes the transport (tests crash/recover agents through it).
+func (s *System) Network() *transport.Network { return s.net }
+
+// Start launches an instance and returns its ID.
+func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	return s.Engine.Start(workflow, inputs)
+}
+
+// Run starts an instance and waits for its terminal status.
+func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
+	id, err := s.Start(workflow, inputs)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := s.Wait(workflow, id, timeout)
+	return id, st, err
+}
+
+// Wait blocks until the instance reaches a terminal status.
+func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	select {
+	case st := <-s.Engine.WaitChan(workflow, id):
+		return st, nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("central: timeout waiting for %s.%d", workflow, id)
+	}
+}
+
+// Abort requests a user abort.
+func (s *System) Abort(workflow string, id int) error { return s.Engine.Abort(workflow, id) }
+
+// ChangeInputs applies a user-initiated input change.
+func (s *System) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	return s.Engine.ChangeInputs(workflow, id, inputs)
+}
+
+// Status reports an instance's status.
+func (s *System) Status(workflow string, id int) (wfdb.Status, bool) {
+	return s.Engine.Status(workflow, id)
+}
+
+// Snapshot returns a deep copy of the instance state.
+func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
+	return s.Engine.Snapshot(workflow, id)
+}
+
+// Close shuts the deployment down. The System must not be used afterwards.
+func (s *System) Close() {
+	s.net.Close()
+	s.Engine.Stop()
+	for _, a := range s.agents {
+		a.Stop()
+	}
+}
+
+// Recover resumes running instances persisted in the system's database — the
+// forward recovery of a restarted engine.
+func (s *System) Recover() (int, error) { return s.Engine.Recover() }

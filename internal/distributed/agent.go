@@ -1,0 +1,516 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"crew/internal/coord"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/nav"
+	"crew/internal/rules"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+// Config parameterizes one distributed agent.
+type Config struct {
+	// Name is the agent's node name.
+	Name string
+	// Library holds the replicated schemas and coordination specs.
+	Library *model.Library
+	// Agents lists every agent in the deployment (sorted order defines the
+	// coordination home agent and default eligibility).
+	Agents []string
+	// Programs resolves step programs.
+	Programs *model.Registry
+	// Collector receives load accounting (may be nil).
+	Collector *metrics.Collector
+	// AGDB persists the agent's replicas; nil disables persistence.
+	AGDB *wfdb.DB
+	// DisableOCR forces Saga-style recovery on revisits (ablation).
+	DisableOCR bool
+	// ExplicitElection enables the StateInformation-exchange successor
+	// election (ablation); the default is the deterministic zero-message
+	// election.
+	ExplicitElection bool
+	// PurgeOnCommit makes coordination agents broadcast purge notes when an
+	// instance finishes (paper: periodic broadcast; immediate here).
+	PurgeOnCommit bool
+	// StatusPollInterval paces the agent's anti-entropy sweep: re-evaluating
+	// replicas, re-reporting completed terminal steps to coordination
+	// agents, and polling StepStatus for overdue missing events (the
+	// paper's predecessor-failure detection). Zero means the 100ms default;
+	// negative disables the sweep.
+	StatusPollInterval time.Duration
+	// StatusPollAge is how long a rule must wait before its missing events
+	// are polled; defaults to 2*StatusPollInterval.
+	StatusPollAge time.Duration
+	Logf          func(format string, args ...any)
+}
+
+// replica is an agent's partial copy of one workflow instance's state.
+type replica struct {
+	ins    *wfdb.Instance
+	schema *model.Schema
+	rules  *rules.Engine
+	// coordinator is the instance's coordination agent.
+	coordinator string
+	// recovery is the current recovery cause at this agent (Normal if none).
+	recovery metrics.Mechanism
+	// executing guards against double execution while a program runs.
+	executing map[model.StepID]bool
+	// coordPending marks an outstanding AddRule check at the home agent;
+	// coordWaits holds the latest wait-event list per step; coordBlocked
+	// marks steps whose rule fired but whose coordination events are not
+	// yet all valid (retried when AddEvent injections arrive).
+	coordPending map[model.StepID]bool
+	coordWaits   map[model.StepID][]string
+	coordBlocked map[model.StepID]bool
+	// rollbacks counts rollback attempts initiated here per failing step.
+	rollbacks map[model.StepID]int
+	// abort tracks an in-progress user abort (coordination agent only).
+	abort *abortState
+	// waitSince tracks when a pending rule first lacked exactly one event
+	// (predecessor-failure detection); keyed by ruleID|event.
+	waitSince map[string]time.Time
+	polled    map[string]bool
+	purged    bool
+	// parentAgent is the agent awaiting this nested instance's result.
+	parentAgent string
+	// leading/lagging are the relative-ordering roles piggybacked on
+	// outgoing workflow packets (Figure 7).
+	leading []string
+	lagging []string
+	// inputEpoch counts input-change rollbacks issued by the coordination
+	// agent.
+	inputEpoch int
+	// epoch is the instance's rollback epoch at this agent; resetEpoch
+	// records, per step, the epoch at which the step was last reset by a
+	// rollback. Incoming state (packets, StepCompleted snapshots) is merged
+	// per step: entries for a step are ignored unless the sender's epoch is
+	// at least the step's reset epoch, so stale threads cannot resurrect
+	// invalidated state while unaffected parallel branches still merge.
+	epoch      int
+	resetEpoch map[model.StepID]int
+	// doneEpoch records, per step, the epoch at which its current done
+	// state was established. HaltThread probes of epoch E reset only steps
+	// whose doneEpoch < E: a probe that arrives after the re-executed
+	// thread already passed through must not clobber the fresh state.
+	doneEpoch map[model.StepID]int
+	// lastHalt remembers the most recent rollback parameters so agents that
+	// send stale state can be told to catch up (anti-entropy).
+	lastHalt *haltThread
+	// lastReport throttles the sweep's terminal re-reports.
+	lastReport time.Time
+}
+
+type abortState struct {
+	queue   []model.StepID
+	pending int // outstanding stepCompensated replies for the current step
+}
+
+// Agent is a distributed workflow agent: execution agent always, and
+// coordination/termination agent per instance as the schemas dictate.
+type Agent struct {
+	cfg Config
+	net *transport.Network
+	ep  *transport.Endpoint
+
+	cmdMu     sync.Mutex
+	cmdQ      []func()
+	cmdNotify chan struct{}
+	wg        sync.WaitGroup
+
+	replicas map[string]*replica
+	// handledHalts dedupes HaltThread floods: key inst|origin|initiator ->
+	// highest epoch seen.
+	handledHalts map[string]int
+	// loads caches StateInformation replies (explicit-election ablation).
+	loads map[string]int64
+	// waiters holds commit/abort subscribers (coordination agent role).
+	waiters map[string][]chan wfdb.Status
+	// execCount is this agent's total program executions.
+	execCount int64
+
+	// home is non-nil on the deployment's coordination home agent.
+	home *homeState
+
+	coordSteps     map[model.StepRef]bool
+	hasRollbackDep bool
+}
+
+// NewAgent registers the agent and starts its goroutine.
+func NewAgent(cfg Config, net *transport.Network) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("distributed: agent needs a name")
+	}
+	if cfg.Library == nil || cfg.Programs == nil {
+		return nil, errors.New("distributed: agent needs a library and programs")
+	}
+	if len(cfg.Agents) == 0 {
+		return nil, errors.New("distributed: agent needs the deployment agent list")
+	}
+	if cfg.StatusPollInterval == 0 {
+		cfg.StatusPollInterval = 100 * time.Millisecond
+	}
+	if cfg.StatusPollAge == 0 {
+		cfg.StatusPollAge = 2 * cfg.StatusPollInterval
+	}
+	ep, err := net.Register(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:          cfg,
+		net:          net,
+		ep:           ep,
+		cmdNotify:    make(chan struct{}, 1),
+		replicas:     make(map[string]*replica),
+		handledHalts: make(map[string]int),
+		loads:        make(map[string]int64),
+		waiters:      make(map[string][]chan wfdb.Status),
+	}
+	tracker := coord.NewTracker(cfg.Library)
+	a.coordSteps = tracker.CoordinatedSteps()
+	for _, spec := range cfg.Library.Coord {
+		if spec.Kind == model.RollbackDep {
+			a.hasRollbackDep = true
+		}
+	}
+	if HomeAgent(cfg.Agents) == cfg.Name {
+		a.home = &homeState{tracker: tracker}
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+// HomeAgent returns the deployment's coordination home agent: the first
+// agent in sorted order. Every agent computes the same answer locally.
+func HomeAgent(agents []string) string {
+	if len(agents) == 0 {
+		return ""
+	}
+	sorted := append([]string(nil), agents...)
+	sort.Strings(sorted)
+	return sorted[0]
+}
+
+// Name returns the agent's node name.
+func (a *Agent) Name() string { return a.cfg.Name }
+
+// Stop waits for the agent goroutine to exit (close the network first).
+func (a *Agent) Stop() { a.wg.Wait() }
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	} else {
+		log.Printf("distributed[%s]: "+format, append([]any{a.cfg.Name}, args...)...)
+	}
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	inbox := a.ep.Inbox()
+	var tick <-chan time.Time
+	if a.cfg.StatusPollInterval > 0 {
+		t := time.NewTicker(a.cfg.StatusPollInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		a.drainCmds()
+		select {
+		case m, ok := <-inbox:
+			if !ok {
+				a.drainCmds()
+				return
+			}
+			a.handleMessage(m)
+		case <-a.cmdNotify:
+		case <-tick:
+			a.sweep()
+		}
+	}
+}
+
+func (a *Agent) drainCmds() {
+	for {
+		a.cmdMu.Lock()
+		if len(a.cmdQ) == 0 {
+			a.cmdMu.Unlock()
+			return
+		}
+		f := a.cmdQ[0]
+		a.cmdQ = a.cmdQ[1:]
+		a.cmdMu.Unlock()
+		f()
+	}
+}
+
+func (a *Agent) enqueue(f func()) {
+	a.cmdMu.Lock()
+	a.cmdQ = append(a.cmdQ, f)
+	a.cmdMu.Unlock()
+	select {
+	case a.cmdNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Do runs f on the agent goroutine and waits. Not for use from the agent
+// goroutine itself.
+func (a *Agent) Do(f func()) {
+	done := make(chan struct{})
+	a.enqueue(func() {
+		defer close(done)
+		f()
+	})
+	<-done
+}
+
+func (a *Agent) addLoad(m metrics.Mechanism, units int64) {
+	if a.cfg.Collector != nil {
+		a.cfg.Collector.AddLoad(a.cfg.Name, m, units)
+	}
+}
+
+func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any) {
+	if to == a.cfg.Name {
+		// Local handling: not a physical message.
+		a.handleMessage(transport.Message{From: to, To: to, Mechanism: mech, Kind: kind, Payload: payload})
+		return
+	}
+	if err := a.net.Send(transport.Message{
+		From:      a.cfg.Name,
+		To:        to,
+		Mechanism: mech,
+		Kind:      kind,
+		Payload:   payload,
+	}); err != nil {
+		a.logf("send %s to %s: %v", kind, to, err)
+	}
+}
+
+// effectiveAgents returns the agents eligible to execute a step.
+func (a *Agent) effectiveAgents(s *model.Step) []string {
+	if len(s.EligibleAgents) > 0 {
+		return s.EligibleAgents
+	}
+	return a.cfg.Agents
+}
+
+// executorOf elects the executor of a step (deterministic, alive-aware).
+func (a *Agent) executorOf(r *replica, step model.StepID) string {
+	s := r.schema.Steps[step]
+	if s == nil {
+		return ""
+	}
+	return nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, step, a.net.Alive)
+}
+
+// getReplica returns (creating if needed) the replica of an instance,
+// installing the execution rules for every step this agent is eligible for.
+func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
+	key := wfdb.InstanceKeyOf(workflow, id)
+	if r, ok := a.replicas[key]; ok {
+		return r, nil
+	}
+	schema := a.cfg.Library.Schema(workflow)
+	if schema == nil {
+		return nil, fmt.Errorf("distributed: unknown workflow class %q", workflow)
+	}
+	r := &replica{
+		ins:          wfdb.NewInstance(workflow, id, nil),
+		schema:       schema,
+		rules:        rules.NewEngine(),
+		recovery:     metrics.Normal,
+		executing:    make(map[model.StepID]bool),
+		coordPending: make(map[model.StepID]bool),
+		coordWaits:   make(map[model.StepID][]string),
+		coordBlocked: make(map[model.StepID]bool),
+		rollbacks:    make(map[model.StepID]int),
+		waitSince:    make(map[string]time.Time),
+		polled:       make(map[string]bool),
+		resetEpoch:   make(map[model.StepID]int),
+		doneEpoch:    make(map[model.StepID]int),
+	}
+	for _, id := range schema.Order {
+		for _, ag := range a.effectiveAgents(schema.Steps[id]) {
+			if ag == a.cfg.Name {
+				for _, rl := range rules.StepRules(schema, id) {
+					r.rules.AddRule(rl)
+				}
+				break
+			}
+		}
+	}
+	a.replicas[key] = r
+	return r, nil
+}
+
+// coordinationAgentOf computes an instance's coordination agent: the elected
+// executor of the schema's first start step.
+func (a *Agent) coordinationAgentOf(schema *model.Schema, workflow string, id int) string {
+	starts := schema.StartSteps()
+	if len(starts) == 0 {
+		return HomeAgent(a.cfg.Agents)
+	}
+	return nav.ElectAgent(a.effectiveAgents(schema.Steps[starts[0]]), workflow, id, starts[0], a.net.Alive)
+}
+
+// persist writes the replica to the AGDB.
+func (a *Agent) persist(r *replica) {
+	if a.cfg.AGDB == nil {
+		return
+	}
+	if err := a.cfg.AGDB.SaveInstance(r.ins); err != nil {
+		a.logf("persist %s: %v", r.ins.Key(), err)
+	}
+}
+
+// Snapshot returns a deep copy of the agent's replica of an instance.
+func (a *Agent) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
+	var out *wfdb.Instance
+	a.Do(func() {
+		if r, ok := a.replicas[wfdb.InstanceKeyOf(workflow, id)]; ok {
+			out = r.ins.Clone()
+		}
+	})
+	return out, out != nil
+}
+
+// HasReplica reports whether the agent currently holds state for an
+// instance (purge tests).
+func (a *Agent) HasReplica(workflow string, id int) bool {
+	var ok bool
+	a.Do(func() {
+		_, ok = a.replicas[wfdb.InstanceKeyOf(workflow, id)]
+	})
+	return ok
+}
+
+// ExecCount returns the number of program executions at this agent.
+func (a *Agent) ExecCount() int64 {
+	var n int64
+	a.Do(func() { n = a.execCount })
+	return n
+}
+
+// DebugState renders an instance replica's rule and coordination state for
+// diagnostics.
+func (a *Agent) DebugState(workflow string, id int) string {
+	var out string
+	a.Do(func() {
+		r, ok := a.replicas[wfdb.InstanceKeyOf(workflow, id)]
+		if !ok {
+			out = "(no replica)"
+			return
+		}
+		out = fmt.Sprintf("status=%v epoch=%d recovery=%v", r.ins.Status, r.epoch, r.recovery)
+		for _, w := range r.rules.WaitingRules(r.ins.Events) {
+			out += fmt.Sprintf("\n  waiting %s missing=%v", w.Rule.ID, w.Missing)
+		}
+		for step, v := range r.coordPending {
+			if v {
+				out += fmt.Sprintf("\n  coordPending %s", step)
+			}
+		}
+		for step, v := range r.coordBlocked {
+			if v {
+				out += fmt.Sprintf("\n  coordBlocked %s waits=%v", step, r.coordWaits[step])
+			}
+		}
+		if a.home != nil {
+			for _, spec := range a.home.tracker.Specs() {
+				if spec.Kind == model.RelativeOrder {
+					out += fmt.Sprintf("\n  home queue %s: %v", spec.Name, a.home.tracker.OrderQueue(spec.Name))
+				}
+			}
+			for _, line := range a.home.tracker.MutexDebug() {
+				out += "\n  home " + line
+			}
+		}
+	})
+	return out
+}
+
+// StartInstance runs the WorkflowStart WI locally (invoked by the front end
+// on the coordination agent).
+func (a *Agent) StartInstance(workflow string, id int, inputs map[string]expr.Value) error {
+	var err error
+	a.Do(func() {
+		err = a.handleWorkflowStart(workflowStart{Workflow: workflow, Instance: id, Inputs: inputs})
+	})
+	return err
+}
+
+// RequestAbort runs the WorkflowAbort WI locally.
+func (a *Agent) RequestAbort(workflow string, id int) error {
+	var err error
+	a.Do(func() {
+		err = a.handleWorkflowAbort(workflowAbort{Workflow: workflow, Instance: id})
+	})
+	return err
+}
+
+// RequestChangeInputs runs the WorkflowChangeInputs WI locally.
+func (a *Agent) RequestChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	var err error
+	a.Do(func() {
+		err = a.handleWorkflowChangeInputs(workflowChangeInputs{Workflow: workflow, Instance: id, Inputs: inputs})
+	})
+	return err
+}
+
+// InstanceStatus serves the WorkflowStatus WI from the coordination instance
+// summary (and live replicas).
+func (a *Agent) InstanceStatus(workflow string, id int) (wfdb.Status, bool) {
+	var st wfdb.Status
+	var ok bool
+	a.Do(func() {
+		st, ok = a.statusLocked(workflow, id)
+	})
+	return st, ok
+}
+
+func (a *Agent) statusLocked(workflow string, id int) (wfdb.Status, bool) {
+	if a.cfg.AGDB != nil {
+		if st, found, _ := a.cfg.AGDB.LoadSummary(workflow, id); found {
+			return st, true
+		}
+	}
+	if r, found := a.replicas[wfdb.InstanceKeyOf(workflow, id)]; found {
+		return r.ins.Status, true
+	}
+	return 0, false
+}
+
+// WaitChan subscribes to an instance's terminal status at its coordination
+// agent.
+func (a *Agent) WaitChan(workflow string, id int) <-chan wfdb.Status {
+	ch := make(chan wfdb.Status, 1)
+	a.Do(func() {
+		if st, ok := a.statusLocked(workflow, id); ok && st != wfdb.Running {
+			ch <- st
+			return
+		}
+		key := wfdb.InstanceKeyOf(workflow, id)
+		a.waiters[key] = append(a.waiters[key], ch)
+	})
+	return ch
+}
+
+func (a *Agent) notifyWaiters(key string, st wfdb.Status) {
+	for _, ch := range a.waiters[key] {
+		ch <- st
+	}
+	delete(a.waiters, key)
+}

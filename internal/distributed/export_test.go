@@ -1,0 +1,11 @@
+package distributed
+
+import (
+	"crew/internal/model"
+	"crew/internal/nav"
+)
+
+// electForTest mirrors the agents' deterministic successor election.
+func electForTest(elig []string, wf string, id int, step model.StepID, alive func(string) bool) string {
+	return nav.ElectAgent(elig, wf, id, step, alive)
+}

@@ -1,0 +1,1452 @@
+package distributed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crew/internal/coord"
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/nav"
+	"crew/internal/ocr"
+	"crew/internal/rules"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+func (a *Agent) handleMessage(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case workflowStart:
+		if err := a.handleWorkflowStart(p); err != nil {
+			a.logf("WorkflowStart: %v", err)
+		}
+	case stepExecute:
+		a.handleStepExecute(p, m.From)
+	case stepCompleted:
+		a.handleStepCompleted(p)
+	case workflowRollback:
+		a.handleWorkflowRollback(p)
+	case haltThread:
+		a.handleHaltThread(p)
+	case compensateSet:
+		a.handleCompensateSet(p)
+	case compensateThread:
+		a.handleCompensateThread(p)
+	case stepCompensate:
+		a.handleStepCompensate(p)
+	case stepCompensated:
+		a.handleStepCompensated(p)
+	case workflowAbort:
+		if err := a.handleWorkflowAbort(p); err != nil {
+			a.logf("WorkflowAbort: %v", err)
+		}
+	case workflowChangeInputs:
+		if err := a.handleWorkflowChangeInputs(p); err != nil {
+			a.logf("WorkflowChangeInputs: %v", err)
+		}
+	case stepStatus:
+		a.handleStepStatus(p)
+	case stepStatusReply:
+		a.handleStepStatusReply(p)
+	case stateInformation:
+		a.send(p.ReplyTo, metrics.Normal, "StateResponse", stateInformationReply{Agent: a.cfg.Name, Load: a.execCount})
+	case stateInformationReply:
+		a.loads[p.Agent] = p.Load
+	case addRule:
+		a.homeHandleAddRule(p)
+	case addPrecondition:
+		a.handleAddPrecondition(p)
+	case addEvent:
+		a.handleAddEvent(p)
+	case coordRollbackNote:
+		a.homeHandleRollbackNote(p)
+	case coordForgetNote:
+		a.homeHandleForget(p)
+	case coordRollbackOrder:
+		a.handleRollbackOrder(p)
+	case nestedResult:
+		a.handleNestedResult(p)
+	case purgeNote:
+		a.handlePurge(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// WorkflowStart
+
+func (a *Agent) handleWorkflowStart(p workflowStart) error {
+	schema := a.cfg.Library.Schema(p.Workflow)
+	if schema == nil {
+		return fmt.Errorf("unknown workflow class %q", p.Workflow)
+	}
+	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
+	if _, dup := a.replicas[key]; dup {
+		return fmt.Errorf("instance %s already exists", key)
+	}
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		return err
+	}
+	r.coordinator = a.cfg.Name
+	for name, v := range p.Inputs {
+		r.ins.Data[model.WorkflowInput(name)] = v
+	}
+	if p.Parent != nil {
+		r.ins.Parent = &wfdb.ParentRef{Workflow: p.Parent.Workflow, ID: p.ParentInst, Step: p.Parent.Step}
+		r.parentAgent = p.ParentAgent
+	}
+	a.addLoad(metrics.Normal, 1)
+	if a.cfg.AGDB != nil {
+		if err := a.cfg.AGDB.SaveSummary(p.Workflow, p.Instance, wfdb.Running); err != nil {
+			a.logf("summary %s: %v", key, err)
+		}
+	}
+	r.ins.Events.Post(event.WorkflowStartName)
+
+	// Dispatch start steps: the coordination agent is the executor of the
+	// first start step; other start steps get packets.
+	for i, sid := range schema.StartSteps() {
+		if i == 0 {
+			continue // handled by local evaluation below
+		}
+		a.forwardPacketForStep(r, sid, metrics.Normal)
+	}
+	a.evaluate(r)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// StepExecute: packet arrival and local navigation
+
+func (a *Agent) handleStepExecute(p stepExecute, from string) {
+	pkt := p.Packet
+	r, err := a.getReplica(pkt.Workflow, pkt.Instance)
+	if err != nil {
+		a.logf("StepExecute: %v", err)
+		return
+	}
+	if r.purged || r.ins.Status != wfdb.Running {
+		return
+	}
+	if pkt.Coordinator != "" {
+		r.coordinator = pkt.Coordinator
+	}
+	if pkt.Epoch > r.epoch {
+		r.epoch = pkt.Epoch
+	}
+	a.addLoad(p.Mechanism, 1) // unpack + table updates
+	if len(pkt.ResetSteps) > 0 {
+		nav.ResetSteps(r.ins, r.rules, pkt.ResetSteps)
+		for _, id := range pkt.ResetSteps {
+			if rec := r.ins.Steps[id]; rec != nil {
+				rec.HasResult = false
+			}
+			r.resetEpoch[id] = r.epoch
+		}
+	}
+	a.mergeFiltered(r, pkt.Data, pkt.Events, pkt.Epoch)
+	a.syncStatusFromEvents(r)
+	// Anti-entropy: a sender operating at an older epoch has missed a
+	// rollback; tell it to catch up so its threads quiesce and re-execute.
+	if pkt.Epoch < r.epoch && r.lastHalt != nil && from != "" && from != a.cfg.Name {
+		a.send(from, r.lastHalt.Mechanism, KindHaltThread, *r.lastHalt)
+	}
+	a.evaluate(r)
+	a.persist(r)
+}
+
+// mergeFiltered merges incoming state per step: entries belonging to a step
+// that was reset at a later epoch than the sender's view are stale and
+// skipped; everything else merges. The step of a data item is its name
+// prefix ("S2" of "S2.O1"); events name their step directly.
+func (a *Agent) mergeFiltered(r *replica, data map[string]expr.Value, events []string, senderEpoch int) {
+	fresh := func(step model.StepID) bool {
+		return senderEpoch >= r.resetEpoch[step]
+	}
+	for k, v := range data {
+		if stepName, _, ok := strings.Cut(k, "."); ok {
+			if !fresh(model.StepID(stepName)) {
+				continue // includes "WF": inputs changed at a later epoch
+			}
+		}
+		if old, exists := r.ins.Data[k]; !exists || !old.Equal(v) {
+			r.ins.Data[k] = v
+		}
+	}
+	for _, name := range events {
+		sid := event.StepOfDone(name)
+		if sid != "" {
+			id := model.StepID(sid)
+			if !fresh(id) {
+				continue
+			}
+			if senderEpoch > r.doneEpoch[id] {
+				r.doneEpoch[id] = senderEpoch
+			}
+		}
+		if !r.ins.Events.Has(name) {
+			r.ins.Events.Post(name)
+		}
+	}
+}
+
+// syncStatusFromEvents marks steps done in the replica's step table when
+// their step.done event is valid (knowledge learned from packets about steps
+// executed elsewhere).
+func (a *Agent) syncStatusFromEvents(r *replica) {
+	for _, name := range r.ins.Events.ValidNames() {
+		sid := event.StepOfDone(name)
+		if sid == "" {
+			continue
+		}
+		id := model.StepID(sid)
+		if r.schema.Steps[id] == nil {
+			continue
+		}
+		rec := r.ins.StepRec(id)
+		if rec.Status == wfdb.StepPending || rec.Status == wfdb.StepCompensated {
+			rec.Status = wfdb.StepDone
+		}
+	}
+}
+
+// evaluate runs the rule engine and executes fired steps this agent is the
+// elected executor for.
+func (a *Agent) evaluate(r *replica) {
+	if r.ins.Status != wfdb.Running || r.purged {
+		return
+	}
+	for {
+		fired, err := r.rules.Evaluate(r.ins.Events, r.ins.Env())
+		if err != nil {
+			a.logf("instance %s: %v", r.ins.Key(), err)
+		}
+		progressed := false
+		for _, rl := range fired {
+			switch rl.Action.Kind {
+			case rules.ActExecute:
+				if a.maybeExecute(r, rl.Action.Step) {
+					progressed = true
+				}
+			case rules.ActNotify:
+				if rl.Action.Fn != nil {
+					rl.Action.Fn()
+				}
+				progressed = true
+			}
+		}
+		if len(fired) == 0 || !progressed {
+			return
+		}
+		if r.ins.Status != wfdb.Running {
+			return
+		}
+	}
+}
+
+// maybeExecute gates and executes a fired step. Returns true when state
+// changed synchronously.
+func (a *Agent) maybeExecute(r *replica, step model.StepID) bool {
+	if r.ins.Status != wfdb.Running || r.executing[step] {
+		return false
+	}
+	if a.executorOf(r, step) != a.cfg.Name {
+		return false // another eligible agent won the election
+	}
+	s := r.schema.Steps[step]
+	if s == nil {
+		return false
+	}
+
+	// Coordinated-execution gate: consult the home agent via AddRule; the
+	// AddPrecondition reply carries the wait events and the step proceeds
+	// only when all of them are valid. Blocked steps are retried directly
+	// when AddEvent injections arrive.
+	ref := model.StepRef{Workflow: r.ins.Workflow, Step: step}
+	if a.coordSteps[ref] {
+		waits, known := r.coordWaits[step]
+		if !known {
+			r.coordBlocked[step] = true
+			if !r.coordPending[step] {
+				r.coordPending[step] = true
+				a.addLoad(metrics.Coordination, 1)
+				a.send(HomeAgent(a.cfg.Agents), metrics.Coordination, KindAddRule, addRule{
+					Ref:        ref,
+					Inst:       coord.InstanceRef{Workflow: r.ins.Workflow, ID: r.ins.ID},
+					ReplyAgent: a.cfg.Name,
+				})
+			}
+			return false
+		}
+		for _, ev := range waits {
+			if !r.ins.Events.Has(ev) {
+				r.coordBlocked[step] = true
+				return false
+			}
+		}
+		r.coordBlocked[step] = false
+	}
+
+	inputs := a.resolveInputs(r, s)
+
+	rec := r.ins.Steps[step]
+	if rec != nil && rec.HasResult && rec.Agent == a.cfg.Name {
+		// Revisit of an already-executed step: the OCR strategy applies.
+		mech := r.recovery
+		if mech == metrics.Normal {
+			mech = metrics.Failure
+		}
+		var d ocr.Decision
+		if a.cfg.DisableOCR {
+			d = ocr.CompleteCR
+		} else {
+			var derr error
+			d, derr = ocr.Decide(s, rec, inputs, r.ins.Env())
+			if derr != nil {
+				a.logf("instance %s step %s: %v", r.ins.Key(), step, derr)
+			}
+		}
+		a.addLoad(mech, 1)
+		switch d {
+		case ocr.Reuse:
+			r.ins.RecordDone(step, rec.Outputs)
+			r.doneEpoch[step] = r.epoch
+			a.afterStepDone(r, step, mech)
+			return true
+		case ocr.CompleteCR:
+			plan := a.planCompSet(r, step)
+			if len(plan) > 1 {
+				// Compensation dependent set: drive the CompensateSet chain
+				// starting at the agent of the last step of the list.
+				a.startCompensateSetChain(r, step, plan, mech)
+				return false
+			}
+			a.compensateLocal(r, step, model.ModeCompensate, mech)
+			a.executeStep(r, step, model.ModeExecute, nil, mech)
+			return true
+		case ocr.IncrementalCR:
+			prev := rec.Prev()
+			a.compensateLocal(r, step, model.ModePartialComp, mech)
+			a.executeStep(r, step, model.ModeIncremental, prev, mech)
+			return true
+		}
+		// ExecuteFresh falls through.
+	}
+
+	mech := metrics.Normal
+	if rec != nil && rec.Attempts > 0 && r.recovery != metrics.Normal {
+		mech = r.recovery
+	}
+	a.executeStep(r, step, model.ModeExecute, nil, mech)
+	return true
+}
+
+func (a *Agent) resolveInputs(r *replica, s *model.Step) map[string]expr.Value {
+	in := make(map[string]expr.Value, len(s.Inputs))
+	for _, name := range s.Inputs {
+		if v, ok := r.ins.Data[name]; ok {
+			in[name] = v
+		}
+	}
+	return in
+}
+
+// executeStep runs the step program synchronously and navigates onward.
+func (a *Agent) executeStep(r *replica, step model.StepID, mode model.ExecMode, prev *model.PrevExecution, mech metrics.Mechanism) {
+	s := r.schema.Steps[step]
+	if s.Nested != "" {
+		a.startNested(r, step, mech)
+		return
+	}
+	prog, ok := a.cfg.Programs.Lookup(s.Program)
+	if !ok {
+		a.logf("instance %s step %s: unknown program %q", r.ins.Key(), step, s.Program)
+		a.onStepFailure(r, step, mech)
+		return
+	}
+	inputs := a.resolveInputs(r, s)
+	if mode == model.ModeIncremental && prev == nil {
+		prev = r.ins.StepRec(step).Prev()
+	}
+	r.ins.RecordExecuting(step, a.cfg.Name, inputs)
+	r.executing[step] = true
+	epochBefore := r.epoch
+	a.execCount++
+	a.addLoad(mech, 1) // navigation + scheduling at the agent
+	out, err := prog(&model.ProgramContext{
+		Workflow: r.ins.Workflow,
+		Instance: r.ins.ID,
+		Step:     step,
+		Mode:     mode,
+		Attempt:  r.ins.StepRec(step).Attempts,
+		Inputs:   inputs,
+		Prev:     prev,
+	})
+	r.executing[step] = false
+	if r.resetEpoch[step] > epochBefore {
+		// A rollback reset this step while it ran: discard the result, but
+		// release any coordination resources the attempt held.
+		a.coordReleaseOnFailure(r, step)
+		return
+	}
+	if err != nil {
+		r.ins.RecordFailed(step)
+		a.coordReleaseOnFailure(r, step)
+		a.onStepFailure(r, step, metrics.Failure)
+		return
+	}
+	r.ins.RecordDone(step, out)
+	r.doneEpoch[step] = r.epoch
+	a.afterStepDone(r, step, mech)
+}
+
+// coordReleaseOnFailure releases mutexes held for a failed attempt.
+func (a *Agent) coordReleaseOnFailure(r *replica, step model.StepID) {
+	ref := model.StepRef{Workflow: r.ins.Workflow, Step: step}
+	if !a.coordSteps[ref] {
+		return
+	}
+	a.addLoad(metrics.Coordination, 1)
+	a.send(HomeAgent(a.cfg.Agents), metrics.Coordination, KindAddRule, addRule{
+		Ref:        ref,
+		Inst:       coord.InstanceRef{Workflow: r.ins.Workflow, ID: r.ins.ID},
+		ReplyAgent: a.cfg.Name,
+		Failed:     true,
+	})
+	a.clearMutexGrants(r, step)
+	delete(r.coordWaits, step)
+}
+
+func (a *Agent) clearMutexGrants(r *replica, step model.StepID) {
+	suffix := ":" + string(step)
+	r.ins.Events.InvalidateWhere(func(name string) bool {
+		return strings.HasPrefix(name, "mx:") && strings.HasSuffix(name, suffix)
+	})
+}
+
+// afterStepDone performs post-success navigation: coordination
+// notifications, branch-switch compensation threads, loop arcs, terminal
+// reporting and packet forwarding.
+func (a *Agent) afterStepDone(r *replica, step model.StepID, mech metrics.Mechanism) {
+	rec := r.ins.StepRec(step)
+	if r.recovery != metrics.Normal && rec.Attempts <= 1 {
+		r.recovery = metrics.Normal
+	}
+
+	ref := model.StepRef{Workflow: r.ins.Workflow, Step: step}
+	if a.coordSteps[ref] {
+		a.addLoad(metrics.Coordination, 1)
+		a.send(HomeAgent(a.cfg.Agents), metrics.Coordination, KindAddRule, addRule{
+			Ref:        ref,
+			Inst:       coord.InstanceRef{Workflow: r.ins.Workflow, ID: r.ins.ID},
+			ReplyAgent: a.cfg.Name,
+			Done:       true,
+		})
+		a.clearMutexGrants(r, step)
+		delete(r.coordWaits, step) // a revisit must re-acquire
+	}
+
+	// Branch switch after re-execution: start compensation threads down the
+	// branches no longer taken (CompensateThread WI).
+	if r.schema.IsBranching(step) && rec.Attempts > 1 {
+		taken := nav.ActiveBranchTargets(r.schema, r.ins, step)
+		takenSet := make(map[model.StepID]bool, len(taken))
+		for _, id := range taken {
+			takenSet[id] = true
+		}
+		for _, arc := range r.schema.ControlSuccessors(step) {
+			if takenSet[arc.To] {
+				continue
+			}
+			a.addLoad(mech, 1)
+			a.send(a.executorOf(r, arc.To), mech, KindCompensateThread, compensateThread{
+				Workflow:  r.ins.Workflow,
+				Instance:  r.ins.ID,
+				Step:      arc.To,
+				Mechanism: mech,
+			})
+		}
+	}
+
+	// Loop arcs: on repeat, reset the body and re-dispatch the head.
+	for _, arc := range r.schema.LoopArcs(step) {
+		cond, err := expr.Compile(arc.Cond)
+		if err != nil {
+			continue
+		}
+		ok, err := cond.EvalBool(r.ins.Env())
+		if err != nil || !ok {
+			continue
+		}
+		a.addLoad(metrics.Normal, 1)
+		body := nav.ApplyLoopBack(r.schema, r.ins, r.rules, arc.To, step)
+		a.forwardPacketForStepWithReset(r, arc.To, body, metrics.Normal)
+		a.persist(r)
+		a.evaluate(r)
+		return
+	}
+
+	// Terminal step: inform the coordination agent (StepCompleted WI).
+	isTerminal := false
+	for _, tid := range r.schema.TerminalSteps() {
+		if tid == step {
+			isTerminal = true
+			break
+		}
+	}
+	if isTerminal {
+		a.addLoad(metrics.Normal, 1)
+		coordAgent := r.coordinator
+		if coordAgent == "" {
+			coordAgent = a.coordinationAgentOf(r.schema, r.ins.Workflow, r.ins.ID)
+		}
+		a.send(coordAgent, metrics.Normal, KindStepCompleted, stepCompleted{
+			Workflow: r.ins.Workflow,
+			Instance: r.ins.ID,
+			Step:     step,
+			Epoch:    r.epoch,
+			Data:     cloneData(r.ins.Data),
+			Events:   r.ins.Events.ValidNames(),
+		})
+	}
+
+	// Forward workflow packets to the agents of every successor step.
+	for _, arc := range r.schema.ControlSuccessors(step) {
+		a.forwardPacketForStep(r, arc.To, mech)
+	}
+	a.persist(r)
+	a.evaluate(r)
+}
+
+func cloneData(m map[string]expr.Value) map[string]expr.Value {
+	out := make(map[string]expr.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// buildPacket assembles the workflow packet for a target step.
+func (a *Agent) buildPacket(r *replica, target model.StepID, reset []model.StepID) *Packet {
+	coordAgent := r.coordinator
+	if coordAgent == "" {
+		coordAgent = a.coordinationAgentOf(r.schema, r.ins.Workflow, r.ins.ID)
+	}
+	return &Packet{
+		Workflow:    r.ins.Workflow,
+		Instance:    r.ins.ID,
+		Epoch:       r.epoch,
+		TargetStep:  target,
+		Data:        cloneData(r.ins.Data),
+		Events:      r.ins.Events.ValidNames(),
+		ResetSteps:  reset,
+		Leading:     append([]string(nil), r.leading...),
+		Lagging:     append([]string(nil), r.lagging...),
+		Coordinator: coordAgent,
+	}
+}
+
+// forwardPacketForStep sends the packet for a successor step to all its
+// eligible agents (the paper's s·a messages; the deterministic election
+// picks the executor with no extra traffic). With ExplicitElection the
+// agents' states are probed first and the packet goes only to the chosen
+// agent.
+func (a *Agent) forwardPacketForStep(r *replica, target model.StepID, mech metrics.Mechanism) {
+	a.forwardPacketForStepWithReset(r, target, nil, mech)
+}
+
+func (a *Agent) forwardPacketForStepWithReset(r *replica, target model.StepID, reset []model.StepID, mech metrics.Mechanism) {
+	s := r.schema.Steps[target]
+	if s == nil {
+		return
+	}
+	elig := a.effectiveAgents(s)
+	pkt := a.buildPacket(r, target, reset)
+	a.addLoad(mech, 1)
+	if a.cfg.ExplicitElection {
+		for _, ag := range elig {
+			if ag != a.cfg.Name && a.net.Alive(ag) {
+				a.send(ag, mech, KindStateInformation, stateInformation{ReplyTo: a.cfg.Name})
+			}
+		}
+		chosen := a.executorOf(r, target)
+		if chosen == "" {
+			chosen = a.cfg.Name
+		}
+		a.send(chosen, mech, KindStepExecute, stepExecute{Packet: pkt.Clone(), Mechanism: mech})
+		return
+	}
+	for _, ag := range elig {
+		a.send(ag, mech, KindStepExecute, stepExecute{Packet: pkt.Clone(), Mechanism: mech})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit path
+
+func (a *Agent) handleStepCompleted(p stepCompleted) {
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		a.logf("StepCompleted: %v", err)
+		return
+	}
+	if r.ins.Status != wfdb.Running {
+		return
+	}
+	if p.Epoch > r.epoch {
+		r.epoch = p.Epoch
+	}
+	r.coordinator = a.cfg.Name
+	a.addLoad(metrics.Normal, 1)
+	a.mergeFiltered(r, p.Data, p.Events, p.Epoch)
+	a.syncStatusFromEvents(r)
+	if nav.ShouldCommit(r.schema, r.ins) {
+		a.commitInstance(r)
+		return
+	}
+	a.evaluate(r)
+}
+
+func (a *Agent) commitInstance(r *replica) {
+	a.addLoad(metrics.Normal, 1)
+	r.ins.Status = wfdb.Committed
+	r.ins.Events.Post(event.WorkflowDoneName)
+	a.finishInstance(r)
+}
+
+func (a *Agent) finishInstance(r *replica) {
+	key := r.ins.Key()
+	if a.cfg.AGDB != nil {
+		if err := a.cfg.AGDB.SaveSummary(r.ins.Workflow, r.ins.ID, r.ins.Status); err != nil {
+			a.logf("summary %s: %v", key, err)
+		}
+		if err := a.cfg.AGDB.Archive(r.ins); err != nil {
+			a.logf("archive %s: %v", key, err)
+		}
+	}
+	a.notifyWaiters(key, r.ins.Status)
+
+	// Coordination clean-up at the home agent.
+	if len(a.cfg.Library.Coord) > 0 {
+		a.addLoad(metrics.Coordination, 1)
+		a.send(HomeAgent(a.cfg.Agents), metrics.Coordination, KindAddRule, coordForgetNote{
+			Inst: coord.InstanceRef{Workflow: r.ins.Workflow, ID: r.ins.ID},
+		})
+	}
+
+	// Nested: report to the parent step's agent.
+	if p := r.ins.Parent; p != nil && r.parentAgent != "" {
+		a.send(r.parentAgent, metrics.Normal, KindNestedResult, nestedResult{
+			ParentWorkflow: p.Workflow,
+			ParentInstance: p.ID,
+			ParentStep:     p.Step,
+			ChildWorkflow:  r.ins.Workflow,
+			ChildInstance:  r.ins.ID,
+			Committed:      r.ins.Status == wfdb.Committed,
+			Data:           cloneData(r.ins.Data),
+		})
+	}
+
+	if a.cfg.PurgeOnCommit {
+		for _, ag := range a.cfg.Agents {
+			if ag == a.cfg.Name {
+				continue
+			}
+			a.send(ag, metrics.Normal, KindPurge, purgeNote{Workflow: r.ins.Workflow, Instance: r.ins.ID})
+		}
+		r.purged = true
+	}
+}
+
+func (a *Agent) handlePurge(p purgeNote) {
+	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
+	if r, ok := a.replicas[key]; ok {
+		r.purged = true
+		delete(a.replicas, key)
+	}
+	if a.cfg.AGDB != nil {
+		_ = a.cfg.AGDB.DeleteInstance(p.Workflow, p.Instance)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+
+// onStepFailure applies the failure-handling specification at the agent
+// where the step failed.
+func (a *Agent) onStepFailure(r *replica, step model.StepID, mech metrics.Mechanism) {
+	a.addLoad(metrics.Failure, 1)
+	pol, ok := r.schema.OnFailure[step]
+	r.rollbacks[step]++
+	if !ok || r.rollbacks[step] > pol.Attempts() {
+		coordAgent := r.coordinator
+		if coordAgent == "" {
+			coordAgent = a.coordinationAgentOf(r.schema, r.ins.Workflow, r.ins.ID)
+		}
+		a.send(coordAgent, metrics.Failure, KindWorkflowAbort, workflowAbort{Workflow: r.ins.Workflow, Instance: r.ins.ID})
+		return
+	}
+	r.recovery = metrics.Failure
+	target := a.executorOf(r, pol.RollbackTo)
+	a.send(target, metrics.Failure, KindWorkflowRollback, workflowRollback{
+		Workflow:  r.ins.Workflow,
+		Instance:  r.ins.ID,
+		Origin:    pol.RollbackTo,
+		Epoch:     r.rollbacks[step],
+		Initiator: a.cfg.Name + "/" + string(step),
+		Mechanism: metrics.Failure,
+	})
+}
+
+// handleWorkflowRollback runs at the agent owning the rollback origin: it
+// resets local state, floods HaltThread probes down the affected threads,
+// reports rollback-dependency triggers, and re-executes the origin through
+// the OCR strategy.
+func (a *Agent) handleWorkflowRollback(p workflowRollback) {
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		a.logf("WorkflowRollback: %v", err)
+		return
+	}
+	if r.ins.Status != wfdb.Running {
+		return
+	}
+	mech := p.Mechanism
+	r.recovery = mech
+	r.epoch++
+	if len(p.NewData) > 0 {
+		r.ins.MergeData(p.NewData)
+		r.resetEpoch["WF"] = r.epoch // stale packets must not undo the change
+	}
+	affected, invalidated := nav.ApplyRollback(r.schema, r.ins, r.rules, p.Origin)
+	a.addLoad(mech, int64(len(affected))+1)
+	_ = invalidated
+	for _, id := range append(append([]model.StepID(nil), affected...), p.Origin) {
+		r.resetEpoch[id] = r.epoch
+		ref := model.StepRef{Workflow: p.Workflow, Step: id}
+		if a.coordSteps[ref] {
+			delete(r.coordWaits, id)
+			r.coordBlocked[id] = false
+			r.coordPending[id] = false
+			a.clearMutexGrants(r, id)
+			a.coordReleaseOnFailure(r, id)
+		}
+	}
+
+	r.lastHalt = &haltThread{
+		Workflow:  p.Workflow,
+		Instance:  p.Instance,
+		Origin:    p.Origin,
+		Epoch:     r.epoch,
+		Initiator: p.Initiator,
+		Mechanism: mech,
+	}
+
+	// Halt the affected threads: probe the agents of the origin's successor
+	// steps, and of the successors of every affected step this agent itself
+	// executed and forwarded packets from; the probes propagate onward
+	// agent to agent.
+	a.haltSuccessorsOf(r, p.Origin, p.Origin, r.epoch, p.Initiator, mech)
+	a.propagateHalts(r, p.Origin, r.epoch, p.Initiator, mech)
+
+	// Rollback dependencies are resolved at the coordination home agent.
+	if a.hasRollbackDep {
+		a.addLoad(metrics.Coordination, 1)
+		all := append(append([]model.StepID(nil), affected...), p.Origin)
+		a.send(HomeAgent(a.cfg.Agents), metrics.Coordination, KindAddRule, coordRollbackNote{
+			Workflow:    p.Workflow,
+			Invalidated: all,
+		})
+	}
+
+	a.persist(r)
+	a.evaluate(r)
+}
+
+// handleHaltThread quiesces the local thread state for a rollback and
+// propagates the probe to agents of steps this agent forwarded packets to.
+func (a *Agent) handleHaltThread(p haltThread) {
+	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance) + "|" + string(p.Origin) + "|" + p.Initiator
+	if a.handledHalts[key] >= p.Epoch {
+		return
+	}
+	a.handledHalts[key] = p.Epoch
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		return
+	}
+	if p.Epoch > r.epoch {
+		r.epoch = p.Epoch
+	}
+	if r.lastHalt == nil || p.Epoch >= r.lastHalt.Epoch {
+		cp := p
+		r.lastHalt = &cp
+	}
+	set := nav.InvalidationSet(r.schema, p.Origin)
+	// A probe must not clobber state the re-executed thread has already
+	// re-established at (or after) the probe's epoch.
+	stale := set[:0:0]
+	for _, id := range set {
+		if r.doneEpoch[id] < p.Epoch {
+			stale = append(stale, id)
+		}
+	}
+	set = stale
+	n := nav.ResetSteps(r.ins, r.rules, set)
+	a.addLoad(p.Mechanism, int64(n)+1)
+	for _, id := range set {
+		r.resetEpoch[id] = r.epoch
+		ref := model.StepRef{Workflow: p.Workflow, Step: id}
+		if a.coordSteps[ref] {
+			delete(r.coordWaits, id)
+			r.coordBlocked[id] = false
+			r.coordPending[id] = false
+			a.clearMutexGrants(r, id)
+		}
+	}
+
+	// Propagate to successors of steps this agent executed and forwarded.
+	a.propagateHalts(r, p.Origin, p.Epoch, p.Initiator, p.Mechanism)
+	a.persist(r)
+}
+
+// haltSuccessorsOf sends HaltThread probes to the agents of a step's
+// immediate successors (skipping this agent, whose state is already reset).
+func (a *Agent) haltSuccessorsOf(r *replica, step, origin model.StepID, epoch int, initiator string, mech metrics.Mechanism) {
+	for _, arc := range r.schema.ControlSuccessors(step) {
+		for _, ag := range a.effectiveAgents(r.schema.Steps[arc.To]) {
+			if ag == a.cfg.Name {
+				continue
+			}
+			a.send(ag, mech, KindHaltThread, haltThread{
+				Workflow:  r.ins.Workflow,
+				Instance:  r.ins.ID,
+				Origin:    origin,
+				Step:      arc.To,
+				Epoch:     epoch,
+				Initiator: initiator,
+				Mechanism: mech,
+			})
+		}
+	}
+}
+
+// propagateHalts forwards HaltThread probes along the threads this agent
+// itself drove: for every affected step it executed (and therefore forwarded
+// packets from), the agents of that step's successors are probed.
+func (a *Agent) propagateHalts(r *replica, origin model.StepID, epoch int, initiator string, mech metrics.Mechanism) {
+	desc := r.schema.Descendants(origin)
+	for id, rec := range r.ins.Steps {
+		if !desc[id] || rec.Agent != a.cfg.Name || rec.Attempts == 0 {
+			continue
+		}
+		a.haltSuccessorsOf(r, id, origin, epoch, initiator, mech)
+	}
+}
+
+// planCompSet computes the CompensateSet chain for revisiting a step of a
+// compensation dependent set. Unlike the centralized engine, an agent knows
+// only its own execution order, so set members that executed elsewhere are
+// recognized by their valid step.done events and ordered by the schema's
+// topological order (consistent with execution order along a path). The plan
+// lists later members first and ends with the revisited step itself.
+func (a *Agent) planCompSet(r *replica, step model.StepID) []model.StepID {
+	set := r.schema.CompSetOf(step)
+	if set == nil {
+		return []model.StepID{step}
+	}
+	inSet := make(map[model.StepID]bool, len(set))
+	for _, id := range set {
+		inSet[id] = true
+	}
+	topo := r.schema.TopoOrder()
+	pos := -1
+	for i, id := range topo {
+		if id == step {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return []model.StepID{step}
+	}
+	var later []model.StepID
+	for _, id := range topo[pos+1:] {
+		if !inSet[id] {
+			continue
+		}
+		// The rollback has already invalidated done events, so executed-at-
+		// some-point is recognized by the occurrence count (which survives
+		// invalidation); members already compensated are skipped. Agents in
+		// the chain no-op when they hold no results, so over-inclusion is
+		// safe.
+		rec := r.ins.Steps[id]
+		executed := r.ins.Events.Count(event.DoneName(string(id))) > 0 &&
+			!r.ins.Events.Has(event.CompensatedName(string(id)))
+		if executed || (rec != nil && rec.HasResult) {
+			later = append(later, id)
+		}
+	}
+	plan := make([]model.StepID, 0, len(later)+1)
+	for i := len(later) - 1; i >= 0; i-- {
+		plan = append(plan, later[i])
+	}
+	return append(plan, step)
+}
+
+// startCompensateSetChain begins the reverse-order compensation of a
+// dependent set: the CompensateSet WI travels to the agent of the last
+// remaining step, which compensates and forwards, ending at the origin.
+func (a *Agent) startCompensateSetChain(r *replica, origin model.StepID, plan []model.StepID, mech metrics.Mechanism) {
+	// plan is already in compensation order (reverse execution order, ending
+	// with origin); StepList keeps that order.
+	first := plan[0]
+	a.addLoad(mech, 1)
+	a.send(a.executorOf(r, first), mech, KindCompensateSet, compensateSet{
+		Workflow:  r.ins.Workflow,
+		Instance:  r.ins.ID,
+		Origin:    origin,
+		StepList:  plan,
+		Mechanism: mech,
+	})
+}
+
+// handleCompensateSet compensates the head of the StepList if this agent
+// executed it, then forwards the chain; when the list is exhausted the
+// origin's agent re-executes the origin.
+func (a *Agent) handleCompensateSet(p compensateSet) {
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		return
+	}
+	// Learn about steps compensated earlier in the chain.
+	for _, id := range p.Compensated {
+		if rec := r.ins.Steps[id]; rec != nil && rec.HasResult {
+			r.ins.RecordCompensated(id)
+		} else {
+			r.ins.Events.Invalidate(event.DoneName(string(id)))
+			r.ins.Events.Post(event.CompensatedName(string(id)))
+		}
+	}
+	if len(p.StepList) == 0 {
+		a.persist(r)
+		a.evaluate(r)
+		return
+	}
+	step := p.StepList[0]
+	rest := p.StepList[1:]
+	a.addLoad(p.Mechanism, 1)
+
+	rec := r.ins.Steps[step]
+	if rec != nil && rec.HasResult && rec.Agent == a.cfg.Name {
+		a.compensateLocal(r, step, model.ModeCompensate, p.Mechanism)
+	}
+	compensated := append(append([]model.StepID(nil), p.Compensated...), step)
+
+	if len(rest) == 0 {
+		// The chain is done; the origin (== step) re-executes here.
+		if step == p.Origin {
+			r.recovery = p.Mechanism
+			a.executeStep(r, step, model.ModeExecute, nil, p.Mechanism)
+		}
+		a.persist(r)
+		return
+	}
+	a.send(a.executorOf(r, rest[0]), p.Mechanism, KindCompensateSet, compensateSet{
+		Workflow:    p.Workflow,
+		Instance:    p.Instance,
+		Origin:      p.Origin,
+		StepList:    rest,
+		Compensated: compensated,
+		Mechanism:   p.Mechanism,
+	})
+	a.persist(r)
+}
+
+// compensateLocal runs a step's compensation program at this agent.
+func (a *Agent) compensateLocal(r *replica, step model.StepID, mode model.ExecMode, mech metrics.Mechanism) {
+	s := r.schema.Steps[step]
+	rec := r.ins.Steps[step]
+	if s == nil || rec == nil || !rec.HasResult {
+		return
+	}
+	a.addLoad(mech, 1)
+	if s.Compensation != "" && (mode == model.ModeCompensate || s.Incremental) {
+		prog, ok := a.cfg.Programs.Lookup(s.Compensation)
+		if ok {
+			a.execCount++
+			if _, err := prog(&model.ProgramContext{
+				Workflow: r.ins.Workflow,
+				Instance: r.ins.ID,
+				Step:     step,
+				Mode:     mode,
+				Attempt:  rec.Attempts,
+				Inputs:   rec.Inputs,
+				Prev:     rec.Prev(),
+			}); err != nil {
+				a.logf("instance %s: compensation of %s failed: %v", r.ins.Key(), step, err)
+			}
+		}
+	}
+	if mode == model.ModeCompensate {
+		r.ins.RecordCompensated(step)
+	}
+}
+
+// handleCompensateThread compensates an abandoned-branch step and forwards
+// the thread until a confluence point.
+func (a *Agent) handleCompensateThread(p compensateThread) {
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err != nil {
+		return
+	}
+	a.addLoad(p.Mechanism, 1)
+	rec := r.ins.Steps[p.Step]
+	if rec != nil && rec.HasResult && rec.Agent == a.cfg.Name {
+		a.compensateLocal(r, p.Step, model.ModeCompensate, p.Mechanism)
+	} else {
+		// Not executed here; drop stale knowledge so commit logic is clean.
+		r.ins.Events.Invalidate(event.DoneName(string(p.Step)))
+		if rec != nil && rec.Status == wfdb.StepDone {
+			rec.Status = wfdb.StepPending
+		}
+	}
+	for _, arc := range r.schema.ControlSuccessors(p.Step) {
+		if r.schema.IsConfluence(arc.To) {
+			continue // stop before the confluence point
+		}
+		a.send(a.executorOf(r, arc.To), p.Mechanism, KindCompensateThread, compensateThread{
+			Workflow:  p.Workflow,
+			Instance:  p.Instance,
+			Step:      arc.To,
+			Mechanism: p.Mechanism,
+		})
+	}
+	a.persist(r)
+}
+
+// ---------------------------------------------------------------------------
+// User-initiated operations at the coordination agent
+
+func (a *Agent) handleWorkflowAbort(p workflowAbort) error {
+	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
+	r, ok := a.replicas[key]
+	if !ok {
+		return fmt.Errorf("unknown instance %s", key)
+	}
+	if r.ins.Status != wfdb.Running {
+		return fmt.Errorf("instance %s is %v", key, r.ins.Status)
+	}
+	if r.abort != nil {
+		return nil // abort already in progress
+	}
+	a.addLoad(metrics.Abort, 1)
+
+	// Quiesce the threads starting from the start steps.
+	r.epoch++
+	for _, sid := range r.schema.StartSteps() {
+		for _, arc := range r.schema.ControlSuccessors(sid) {
+			for _, ag := range a.effectiveAgents(r.schema.Steps[arc.To]) {
+				if ag == a.cfg.Name {
+					continue
+				}
+				a.send(ag, metrics.Abort, KindHaltThread, haltThread{
+					Workflow:  p.Workflow,
+					Instance:  p.Instance,
+					Origin:    sid,
+					Step:      arc.To,
+					Epoch:     r.epoch,
+					Initiator: a.cfg.Name + "/abort",
+					Mechanism: metrics.Abort,
+				})
+			}
+		}
+	}
+
+	// Determine the steps to compensate (schema spec or every compensable
+	// step known to have executed), in reverse topological order.
+	var candidates []model.StepID
+	if len(r.schema.AbortCompensate) > 0 {
+		candidates = r.schema.AbortCompensate
+	} else {
+		for _, id := range r.schema.Order {
+			if r.schema.Steps[id].Compensable() {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	inCand := make(map[model.StepID]bool, len(candidates))
+	for _, id := range candidates {
+		inCand[id] = true
+	}
+	// The coordination agent may not know which candidates actually
+	// executed (state is distributed), so it probes all eligible agents of
+	// every candidate step — the paper's w·a abort messages.
+	topo := r.schema.TopoOrder()
+	var queue []model.StepID
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		if inCand[id] {
+			queue = append(queue, id)
+		}
+	}
+	r.abort = &abortState{queue: queue}
+	a.pumpAbort(r)
+	return nil
+}
+
+// pumpAbort sends StepCompensate to all eligible agents of the next step in
+// the abort queue and waits for their acknowledgements.
+func (a *Agent) pumpAbort(r *replica) {
+	ab := r.abort
+	for ab.pending == 0 {
+		if len(ab.queue) == 0 {
+			r.ins.Status = wfdb.Aborted
+			r.ins.Events.Post(event.WorkflowAbortName)
+			a.finishInstance(r)
+			return
+		}
+		step := ab.queue[0]
+		ab.queue = ab.queue[1:]
+		elig := a.effectiveAgents(r.schema.Steps[step])
+		for _, ag := range elig {
+			ab.pending++
+			a.send(ag, metrics.Abort, KindStepCompensate, stepCompensate{
+				Workflow:  r.ins.Workflow,
+				Instance:  r.ins.ID,
+				Step:      step,
+				ReplyTo:   a.cfg.Name,
+				Mechanism: metrics.Abort,
+			})
+		}
+	}
+}
+
+func (a *Agent) handleStepCompensate(p stepCompensate) {
+	r, err := a.getReplica(p.Workflow, p.Instance)
+	if err == nil {
+		rec := r.ins.Steps[p.Step]
+		if rec != nil && rec.HasResult && rec.Agent == a.cfg.Name {
+			a.compensateLocal(r, p.Step, model.ModeCompensate, p.Mechanism)
+			a.persist(r)
+		}
+	}
+	a.send(p.ReplyTo, p.Mechanism, KindStepCompensated, stepCompensated{
+		Workflow: p.Workflow,
+		Instance: p.Instance,
+		Step:     p.Step,
+	})
+}
+
+func (a *Agent) handleStepCompensated(p stepCompensated) {
+	r, ok := a.replicas[wfdb.InstanceKeyOf(p.Workflow, p.Instance)]
+	if !ok || r.abort == nil {
+		return
+	}
+	a.addLoad(metrics.Abort, 1)
+	r.abort.pending--
+	a.pumpAbort(r)
+}
+
+func (a *Agent) handleWorkflowChangeInputs(p workflowChangeInputs) error {
+	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
+	r, ok := a.replicas[key]
+	if !ok {
+		return fmt.Errorf("unknown instance %s", key)
+	}
+	if r.ins.Status != wfdb.Running {
+		return fmt.Errorf("instance %s is %v", key, r.ins.Status)
+	}
+	a.addLoad(metrics.InputChange, 1)
+	changed := make(map[string]expr.Value)
+	for name, v := range p.Inputs {
+		full := model.WorkflowInput(name)
+		if old, ok := r.ins.Data[full]; !ok || !old.Equal(v) {
+			changed[full] = v
+			r.ins.Data[full] = v
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	r.epoch++
+	r.resetEpoch["WF"] = r.epoch
+	var origin model.StepID
+	for _, sid := range r.schema.TopoOrder() {
+		for _, in := range r.schema.Steps[sid].Inputs {
+			if _, hit := changed[in]; hit {
+				origin = sid
+				break
+			}
+		}
+		if origin != "" {
+			break
+		}
+	}
+	if origin == "" {
+		return nil
+	}
+	r.inputEpoch++
+	a.send(a.executorOf(r, origin), metrics.InputChange, KindWorkflowRollback, workflowRollback{
+		Workflow:  p.Workflow,
+		Instance:  p.Instance,
+		Origin:    origin,
+		Epoch:     r.inputEpoch,
+		Initiator: a.cfg.Name + "/inputs",
+		NewData:   changed,
+		Mechanism: metrics.InputChange,
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Nested workflows
+
+func (a *Agent) startNested(r *replica, step model.StepID, mech metrics.Mechanism) {
+	s := r.schema.Steps[step]
+	child := a.cfg.Library.Schema(s.Nested)
+	if child == nil {
+		a.logf("instance %s step %s: unknown nested workflow %q", r.ins.Key(), step, s.Nested)
+		return
+	}
+	inputs := a.resolveInputs(r, s)
+	r.ins.RecordExecuting(step, a.cfg.Name, inputs)
+	childInputs := make(map[string]expr.Value)
+	for i, in := range s.Inputs {
+		if i >= len(child.Inputs) {
+			break
+		}
+		if v, ok := r.ins.Data[in]; ok {
+			childInputs[child.Inputs[i]] = v
+		}
+	}
+	childID := r.ins.ID*1000 + int(r.ins.StepRec(step).Attempts)
+	coordAgent := a.coordinationAgentOf(child, s.Nested, childID)
+	a.addLoad(mech, 1)
+	a.send(coordAgent, mech, KindWorkflowStart, workflowStart{
+		Workflow: s.Nested,
+		Instance: childID,
+		Inputs:   childInputs,
+		Parent: &model.StepRef{
+			Workflow: r.ins.Workflow,
+			Step:     step,
+		},
+		ParentInst:  r.ins.ID,
+		ParentAgent: a.cfg.Name,
+	})
+}
+
+func (a *Agent) handleNestedResult(p nestedResult) {
+	r, ok := a.replicas[wfdb.InstanceKeyOf(p.ParentWorkflow, p.ParentInstance)]
+	if !ok || r.ins.Status != wfdb.Running {
+		return
+	}
+	a.addLoad(metrics.Normal, 1)
+	if !p.Committed {
+		r.ins.RecordFailed(p.ParentStep)
+		a.onStepFailure(r, p.ParentStep, metrics.Failure)
+		return
+	}
+	s := r.schema.Steps[p.ParentStep]
+	child := a.cfg.Library.Schema(p.ChildWorkflow)
+	outputs := make(map[string]expr.Value, len(s.Outputs))
+	if child != nil {
+		for _, o := range s.Outputs {
+			for _, term := range child.TerminalSteps() {
+				if v, ok := p.Data[term.Ref(o)]; ok {
+					outputs[o] = v
+					break
+				}
+			}
+		}
+	}
+	r.ins.RecordDone(p.ParentStep, outputs)
+	a.afterStepDone(r, p.ParentStep, metrics.Normal)
+}
+
+// ---------------------------------------------------------------------------
+// Predecessor-failure detection (StepStatus polling)
+
+// sweep is the agent's periodic anti-entropy pass: it re-evaluates running
+// replicas (firing any rules re-armed by rollbacks whose packets raced past
+// their probes), re-reports terminal steps this agent completed to the
+// coordination agent (a lost or filtered StepCompleted must not prevent
+// commit), and polls StepStatus for events that have been missing too long
+// (the paper's predecessor-failure detection).
+func (a *Agent) sweep() {
+	now := time.Now()
+	// Snapshot: evaluation can start nested instances, mutating the map.
+	replicas := make([]*replica, 0, len(a.replicas))
+	for _, r := range a.replicas {
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		if r.ins.Status != wfdb.Running || r.purged {
+			continue
+		}
+		a.evaluate(r)
+		a.recheckCoordination(r)
+		if now.Sub(r.lastReport) >= a.cfg.StatusPollAge {
+			r.lastReport = now
+			a.reportTerminals(r)
+		}
+		a.pollOverdueRules(r, now)
+	}
+}
+
+// recheckCoordination re-runs the coordination gate for blocked steps. A
+// rollback can invalidate a mutex grant after the home agent issued it; a
+// fresh AddRule check makes the home re-grant to the recorded holder (the
+// tracker deduplicates waiters, so repeated checks are safe).
+func (a *Agent) recheckCoordination(r *replica) {
+	var blocked []model.StepID
+	for step, b := range r.coordBlocked {
+		if b {
+			blocked = append(blocked, step)
+		}
+	}
+	for _, step := range blocked {
+		delete(r.coordWaits, step)
+		r.coordPending[step] = false
+		a.maybeExecute(r, step)
+	}
+}
+
+// reportTerminals re-sends StepCompleted for terminal steps this agent
+// holds results for while the instance is still running here.
+func (a *Agent) reportTerminals(r *replica) {
+	coordAgent := r.coordinator
+	if coordAgent == "" {
+		coordAgent = a.coordinationAgentOf(r.schema, r.ins.Workflow, r.ins.ID)
+	}
+	if coordAgent == a.cfg.Name {
+		// We are the coordination agent: just re-check commit.
+		if nav.ShouldCommit(r.schema, r.ins) {
+			a.commitInstance(r)
+		}
+		return
+	}
+	for _, tid := range r.schema.TerminalSteps() {
+		rec := r.ins.Steps[tid]
+		if rec == nil || !rec.HasResult || rec.Agent != a.cfg.Name {
+			continue
+		}
+		a.send(coordAgent, metrics.Normal, KindStepCompleted, stepCompleted{
+			Workflow: r.ins.Workflow,
+			Instance: r.ins.ID,
+			Step:     tid,
+			Epoch:    r.epoch,
+			Data:     cloneData(r.ins.Data),
+			Events:   r.ins.Events.ValidNames(),
+		})
+	}
+}
+
+// pollOverdueRules polls the eligible agents of every step whose done event
+// a pending rule has been missing for longer than StatusPollAge.
+func (a *Agent) pollOverdueRules(r *replica, now time.Time) {
+	for _, w := range r.rules.WaitingRules(r.ins.Events) {
+		for _, missing := range w.Missing {
+			sid := event.StepOfDone(missing)
+			if sid == "" {
+				continue
+			}
+			key := w.Rule.ID + "|" + missing
+			first, seen := r.waitSince[key]
+			if !seen {
+				r.waitSince[key] = now
+				continue
+			}
+			if now.Sub(first) < a.cfg.StatusPollAge || r.polled[key] {
+				continue
+			}
+			r.polled[key] = true
+			producer := model.StepID(sid)
+			s := r.schema.Steps[producer]
+			if s == nil {
+				continue
+			}
+			forStep := w.Rule.Action.Step
+			for _, ag := range a.effectiveAgents(s) {
+				if ag == a.cfg.Name || !a.net.Alive(ag) {
+					continue
+				}
+				a.addLoad(metrics.Failure, 1)
+				a.send(ag, metrics.Failure, KindStepStatus, stepStatus{
+					Workflow: r.ins.Workflow,
+					Instance: r.ins.ID,
+					Step:     producer,
+					ForStep:  forStep,
+					ReplyTo:  a.cfg.Name,
+				})
+			}
+		}
+	}
+}
+
+func (a *Agent) handleStepStatus(p stepStatus) {
+	r, ok := a.replicas[wfdb.InstanceKeyOf(p.Workflow, p.Instance)]
+	status := "unknown"
+	if ok {
+		if rec := r.ins.Steps[p.Step]; rec != nil {
+			switch {
+			case rec.HasResult && rec.Agent == a.cfg.Name:
+				status = "done"
+			case r.executing[p.Step]:
+				status = "executing"
+			}
+		}
+	}
+	a.send(p.ReplyTo, metrics.Failure, KindStepStatusReply, stepStatusReply{
+		Workflow: p.Workflow,
+		Instance: p.Instance,
+		Step:     p.Step,
+		Status:   status,
+		Agent:    a.cfg.Name,
+	})
+	// A responder holding the results re-sends the workflow packet so the
+	// waiting agent can proceed.
+	if status == "done" && ok {
+		pkt := a.buildPacket(r, p.ForStep, nil)
+		a.send(p.ReplyTo, metrics.Failure, KindStepExecute, stepExecute{Packet: pkt, Mechanism: metrics.Failure})
+	}
+}
+
+func (a *Agent) handleStepStatusReply(p stepStatusReply) {
+	r, ok := a.replicas[wfdb.InstanceKeyOf(p.Workflow, p.Instance)]
+	if !ok || r.ins.Status != wfdb.Running {
+		return
+	}
+	switch p.Status {
+	case "done":
+		// The packet re-send unblocks us; nothing more to do.
+	case "executing":
+		// Keep waiting: reset the age so the poll may repeat later.
+		for key := range r.polled {
+			if strings.HasSuffix(key, "|"+event.DoneName(string(p.Step))) {
+				delete(r.polled, key)
+				r.waitSince[key] = time.Now()
+			}
+		}
+	case "unknown":
+		// If the producing step is a query, re-execute it at an available
+		// eligible agent; update steps must wait for the failed agent.
+		s := r.schema.Steps[p.Step]
+		if s == nil || s.Update {
+			return
+		}
+		if r.ins.Events.Has(event.DoneName(string(p.Step))) {
+			return
+		}
+		target := nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, p.Step, a.net.Alive)
+		if target == "" {
+			return
+		}
+		pkt := a.buildPacket(r, p.Step, nil)
+		a.addLoad(metrics.Failure, 1)
+		a.send(target, metrics.Failure, KindStepExecute, stepExecute{Packet: pkt, Mechanism: metrics.Failure})
+	}
+}

@@ -1,0 +1,253 @@
+package distributed
+
+import (
+	"crew/internal/coord"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+)
+
+// Message kind labels: the workflow interfaces of the paper's Table 1.
+const (
+	KindWorkflowStart        = "WorkflowStart"
+	KindWorkflowChangeInputs = "WorkflowChangeInputs"
+	KindWorkflowAbort        = "WorkflowAbort"
+	KindWorkflowStatus       = "WorkflowStatus"
+	KindInputsChanged        = "InputsChanged"
+	KindStepExecute          = "StepExecute"
+	KindStepCompensate       = "StepCompensate"
+	KindStepCompensated      = "StepCompensated"
+	KindStepCompleted        = "StepCompleted"
+	KindStepStatus           = "StepStatus"
+	KindStepStatusReply      = "StepStatusReply"
+	KindWorkflowRollback     = "WorkflowRollback"
+	KindHaltThread           = "HaltThread"
+	KindCompensateSet        = "CompensateSet"
+	KindCompensateThread     = "CompensateThread"
+	KindStateInformation     = "StateInformation"
+	KindAddRule              = "AddRule"
+	KindAddEvent             = "AddEvent"
+	KindAddPrecondition      = "AddPrecondition"
+	KindNestedResult         = "NestedResult"
+	KindPurge                = "Purge"
+	KindAbortDone            = "AbortDone"
+)
+
+// workflowStart instantiates a workflow at its coordination agent.
+type workflowStart struct {
+	Workflow string
+	Instance int
+	Inputs   map[string]expr.Value
+	// Parent links a nested instance to the parent step's agent.
+	Parent      *model.StepRef
+	ParentInst  int
+	ParentAgent string
+}
+
+// stepExecute delivers a workflow packet (the StepExecute WI).
+type stepExecute struct {
+	Packet *Packet
+	// Mechanism classifies the traffic (normal vs re-execution after
+	// failure/input change).
+	Mechanism metrics.Mechanism
+}
+
+// stepCompleted notifies the coordination agent that a terminal step
+// finished; it carries the termination agent's state snapshot so the
+// coordination agent can decide commit.
+type stepCompleted struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	Epoch    int
+	Data     map[string]expr.Value
+	Events   []string
+}
+
+// workflowRollback asks the agent owning the rollback-target step to apply a
+// partial rollback and re-execute from there (the WorkflowRollback WI).
+type workflowRollback struct {
+	Workflow string
+	Instance int
+	// Origin is the step re-executed after the rollback.
+	Origin model.StepID
+	// Epoch and Initiator distinguish repeated rollbacks to the same origin
+	// (HaltThread probes are deduplicated per initiator+epoch).
+	Epoch     int
+	Initiator string
+	// NewData carries updated data items (used by input changes).
+	NewData map[string]expr.Value
+	// Mechanism is Failure or InputChange.
+	Mechanism metrics.Mechanism
+}
+
+// haltThread quiesces control flow of threads affected by a rollback (the
+// HaltThread WI). Step is the step whose agent should halt; Origin is the
+// rollback origin determining which events are invalidated.
+type haltThread struct {
+	Workflow  string
+	Instance  int
+	Origin    model.StepID
+	Step      model.StepID
+	Epoch     int
+	Initiator string
+	Mechanism metrics.Mechanism
+}
+
+// compensateSet drives the reverse-execution-order compensation chain of a
+// compensation dependent set (the CompensateSet WI).
+type compensateSet struct {
+	Workflow string
+	Instance int
+	// Origin is the step whose re-execution requested the chain; the chain
+	// ends by compensating it at its own agent, which then re-executes.
+	Origin model.StepID
+	// StepList holds the remaining steps to compensate, last first.
+	StepList []model.StepID
+	// Compensated accumulates the steps already compensated along the
+	// chain so receivers can update their replicas.
+	Compensated []model.StepID
+	Mechanism   metrics.Mechanism
+}
+
+// compensateThread compensates an abandoned branch step by step until a
+// confluence point (the CompensateThread WI).
+type compensateThread struct {
+	Workflow  string
+	Instance  int
+	Step      model.StepID
+	Mechanism metrics.Mechanism
+}
+
+// stepCompensate asks the agent that executed a step to compensate it (used
+// by user-initiated aborts; the StepCompensate WI).
+type stepCompensate struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	// ReplyTo receives stepCompensated so the coordination agent can chain
+	// compensations in reverse order.
+	ReplyTo   string
+	Mechanism metrics.Mechanism
+}
+
+// stepCompensated acknowledges a stepCompensate.
+type stepCompensated struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+}
+
+// workflowAbort asks the coordination agent to abort an instance (front
+// end -> coordination agent; the WorkflowAbort WI).
+type workflowAbort struct {
+	Workflow string
+	Instance int
+}
+
+// workflowChangeInputs delivers a user input change to the coordination
+// agent (the WorkflowChangeInputs WI).
+type workflowChangeInputs struct {
+	Workflow string
+	Instance int
+	Inputs   map[string]expr.Value
+}
+
+// stepStatus polls eligible agents about a step whose done event is overdue
+// (predecessor-failure handling; the StepStatus WI).
+type stepStatus struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	// ForStep is the waiting step at the asker; a responder holding the
+	// results re-sends the workflow packet targeting it.
+	ForStep model.StepID
+	ReplyTo string
+}
+
+// stepStatusReply answers a stepStatus poll. A responder that holds the
+// step's results re-sends the workflow packet separately.
+type stepStatusReply struct {
+	Workflow string
+	Instance int
+	Step     model.StepID
+	// Status is "done", "executing" or "unknown".
+	Status string
+	Agent  string
+}
+
+// stateInformation asks an agent for its load (the StateInformation WI; used
+// by the explicit-election ablation).
+type stateInformation struct {
+	ReplyTo string
+}
+
+// stateInformationReply answers stateInformation.
+type stateInformationReply struct {
+	Agent string
+	Load  int64
+}
+
+// Coordination WI payloads. AddRule establishes/updates coordination state
+// at the spec home agent (and asks what the step must wait for),
+// AddPrecondition returns the wait events, AddEvent injects an event into an
+// instance's event table at the agents holding the waiting rule.
+type addRule struct {
+	Ref        model.StepRef
+	Inst       coord.InstanceRef
+	ReplyAgent string
+	// Done marks a completion notification rather than a pre-execution
+	// check; Failed marks a failed attempt (mutex release only).
+	Done   bool
+	Failed bool
+}
+
+type addPrecondition struct {
+	Inst       coord.InstanceRef
+	Step       model.StepID
+	WaitEvents []string
+}
+
+type addEvent struct {
+	Target coord.InstanceRef
+	Event  string
+	Step   model.StepID
+}
+
+// coordRollbackNote tells the home agent that an instance rolled back past
+// the given steps (rollback-dependency triggers).
+type coordRollbackNote struct {
+	Workflow    string
+	Invalidated []model.StepID
+}
+
+// coordForgetNote removes a finished instance from coordination state.
+type coordForgetNote struct {
+	Inst coord.InstanceRef
+}
+
+// coordRollbackOrder applies a rollback dependency at the coordination agent
+// of a dependent instance.
+type coordRollbackOrder struct {
+	Order coord.RollbackOrder
+}
+
+// nestedResult reports a nested workflow's outcome to the parent step's
+// agent.
+type nestedResult struct {
+	ParentWorkflow string
+	ParentInstance int
+	ParentStep     model.StepID
+	ChildWorkflow  string
+	ChildInstance  int
+	Committed      bool
+	// Data is the child's final data table (for output mapping).
+	Data map[string]expr.Value
+}
+
+// purgeNote is the coordination agent's broadcast that an instance finished,
+// so agents can purge its replica.
+type purgeNote struct {
+	Workflow string
+	Instance int
+}

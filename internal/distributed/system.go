@@ -1,0 +1,239 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/nav"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+// SystemConfig parameterizes a distributed deployment: z agents, no engine.
+type SystemConfig struct {
+	Library   *model.Library
+	Programs  *model.Registry
+	Collector *metrics.Collector
+	// Agents lists the agent node names (the paper's z); empty derives them
+	// from the library, defaulting to three agents.
+	Agents []string
+	// AGDBs optionally gives each agent a database (len must match Agents).
+	AGDBs              []*wfdb.DB
+	DisableOCR         bool
+	ExplicitElection   bool
+	PurgeOnCommit      bool
+	StatusPollInterval time.Duration
+	StatusPollAge      time.Duration
+	Logf               func(format string, args ...any)
+}
+
+// System is a running distributed WFMS deployment. Its methods play the role
+// of the front-end database: they translate user requests into workflow
+// interface invocations on coordination agents.
+type System struct {
+	net    *transport.Network
+	agents map[string]*Agent
+	names  []string
+	lib    *model.Library
+	col    *metrics.Collector
+
+	mu     sync.Mutex
+	nextID map[string]int
+}
+
+// NewSystem builds and starts a distributed deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Library == nil || cfg.Programs == nil {
+		return nil, errors.New("distributed: system needs a library and programs")
+	}
+	if err := cfg.Library.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector()
+	}
+	names := cfg.Agents
+	if len(names) == 0 {
+		names = cfg.Library.SortedAgents()
+	}
+	if len(names) == 0 {
+		names = []string{"agent1", "agent2", "agent3"}
+	}
+	if cfg.AGDBs != nil && len(cfg.AGDBs) != len(names) {
+		return nil, errors.New("distributed: AGDBs length must match Agents")
+	}
+
+	net := transport.New(cfg.Collector)
+	sys := &System{
+		net:    net,
+		agents: make(map[string]*Agent, len(names)),
+		names:  append([]string(nil), names...),
+		lib:    cfg.Library,
+		col:    cfg.Collector,
+		nextID: make(map[string]int),
+	}
+	for i, name := range names {
+		var db *wfdb.DB
+		if cfg.AGDBs != nil {
+			db = cfg.AGDBs[i]
+		}
+		ag, err := NewAgent(Config{
+			Name:               name,
+			Library:            cfg.Library,
+			Agents:             names,
+			Programs:           cfg.Programs,
+			Collector:          cfg.Collector,
+			AGDB:               db,
+			DisableOCR:         cfg.DisableOCR,
+			ExplicitElection:   cfg.ExplicitElection,
+			PurgeOnCommit:      cfg.PurgeOnCommit,
+			StatusPollInterval: cfg.StatusPollInterval,
+			StatusPollAge:      cfg.StatusPollAge,
+			Logf:               cfg.Logf,
+		}, net)
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("distributed: agent %s: %w", name, err)
+		}
+		sys.agents[name] = ag
+	}
+	return sys, nil
+}
+
+// Collector returns the metrics collector.
+func (s *System) Collector() *metrics.Collector { return s.col }
+
+// Network exposes the transport (tests crash/recover agents through it).
+func (s *System) Network() *transport.Network { return s.net }
+
+// Agent returns a deployed agent by name.
+func (s *System) Agent(name string) *Agent { return s.agents[name] }
+
+// AgentNames returns the deployment's agent names.
+func (s *System) AgentNames() []string { return append([]string(nil), s.names...) }
+
+// coordinationAgent computes the coordination agent of an instance: the
+// elected executor of the schema's first start step.
+func (s *System) coordinationAgent(workflow string, id int) (*Agent, error) {
+	schema := s.lib.Schema(workflow)
+	if schema == nil {
+		return nil, fmt.Errorf("distributed: unknown workflow class %q", workflow)
+	}
+	starts := schema.StartSteps()
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("distributed: workflow %q has no start step", workflow)
+	}
+	st := schema.Steps[starts[0]]
+	elig := st.EligibleAgents
+	if len(elig) == 0 {
+		elig = s.names
+	}
+	name := nav.ElectAgent(elig, workflow, id, starts[0], s.net.Alive)
+	if name == "" {
+		return nil, fmt.Errorf("distributed: no agent available to coordinate %s.%d", workflow, id)
+	}
+	ag, ok := s.agents[name]
+	if !ok {
+		return nil, fmt.Errorf("distributed: elected unknown agent %q", name)
+	}
+	return ag, nil
+}
+
+// Start launches an instance via its coordination agent's WorkflowStart WI.
+func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	s.mu.Lock()
+	s.nextID[workflow]++
+	id := s.nextID[workflow]
+	s.mu.Unlock()
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return 0, err
+	}
+	if err := ag.StartInstance(workflow, id, inputs); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Run starts an instance and waits for its terminal status.
+func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
+	id, err := s.Start(workflow, inputs)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := s.Wait(workflow, id, timeout)
+	return id, st, err
+}
+
+// Wait blocks until the instance terminates (subscribing at the
+// coordination agent).
+func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case st := <-ag.WaitChan(workflow, id):
+		return st, nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("distributed: timeout waiting for %s.%d", workflow, id)
+	}
+}
+
+// Abort requests a user abort via the WorkflowAbort WI.
+func (s *System) Abort(workflow string, id int) error {
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return err
+	}
+	return ag.RequestAbort(workflow, id)
+}
+
+// ChangeInputs applies user input changes via WorkflowChangeInputs.
+func (s *System) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return err
+	}
+	return ag.RequestChangeInputs(workflow, id, inputs)
+}
+
+// Status serves the WorkflowStatus WI.
+func (s *System) Status(workflow string, id int) (wfdb.Status, bool) {
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return 0, false
+	}
+	return ag.InstanceStatus(workflow, id)
+}
+
+// Snapshot returns the coordination agent's replica of the instance.
+func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return nil, false
+	}
+	return ag.Snapshot(workflow, id)
+}
+
+// SnapshotAt returns a specific agent's replica of the instance.
+func (s *System) SnapshotAt(agent, workflow string, id int) (*wfdb.Instance, bool) {
+	ag, ok := s.agents[agent]
+	if !ok {
+		return nil, false
+	}
+	return ag.Snapshot(workflow, id)
+}
+
+// Close shuts the deployment down.
+func (s *System) Close() {
+	s.net.Close()
+	for _, a := range s.agents {
+		a.Stop()
+	}
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crew/internal/analysis"
+)
+
+// fastParams is a small but mechanism-complete parameter point.
+func fastParams() analysis.Parameters {
+	p := analysis.Default()
+	p.C = 4
+	p.S = 6
+	p.E = 2
+	p.Z = 6
+	p.A = 2
+	p.F = 2
+	p.R = 2
+	p.W = 2
+	p.ME, p.RO, p.RD = 1, 2, 0
+	p.PF, p.PI, p.PA, p.PR = 0.1, 0.03, 0.03, 0.3
+	return p
+}
+
+func runArch(t *testing.T, arch analysis.Architecture) *Measured {
+	t.Helper()
+	m, err := Run(Options{
+		Arch:      arch,
+		Params:    fastParams(),
+		Instances: 4,
+		Seed:      21,
+		Timeout:   60 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", arch, err)
+	}
+	return m
+}
+
+func TestRunAllArchitectures(t *testing.T) {
+	results := make(map[analysis.Architecture]*Measured, 3)
+	for _, arch := range analysis.Architectures {
+		m := runArch(t, arch)
+		results[arch] = m
+		if m.Instances != 16 {
+			t.Errorf("%v: instances = %d, want 16", arch, m.Instances)
+		}
+		if m.Committed+m.Aborted != m.Instances {
+			t.Errorf("%v: outcomes don't add up: %+v", arch, m)
+		}
+		if m.MsgsPerInstance[analysis.RowNormal] <= 0 {
+			t.Errorf("%v: no normal messages measured", arch)
+		}
+		if m.LoadPerInstance[analysis.RowNormal] <= 0 {
+			t.Errorf("%v: no normal load measured", arch)
+		}
+	}
+
+	// Shape checks from the paper's conclusions:
+	// 1. Per-node load: Distributed < Parallel < Central.
+	cl := results[analysis.Central].LoadPerInstance[analysis.RowNormal]
+	pl := results[analysis.Parallel].LoadPerInstance[analysis.RowNormal]
+	dl := results[analysis.Distributed].LoadPerInstance[analysis.RowNormal]
+	if !(dl < pl && pl < cl) {
+		t.Errorf("load ordering violated: central=%.3f parallel=%.3f distributed=%.3f", cl, pl, dl)
+	}
+	// 2. Normal-execution messages: Distributed < Central == Parallel-ish.
+	cm := results[analysis.Central].MsgsPerInstance[analysis.RowNormal]
+	dm := results[analysis.Distributed].MsgsPerInstance[analysis.RowNormal]
+	if !(dm < cm) {
+		t.Errorf("message ordering violated: central=%.2f distributed=%.2f", cm, dm)
+	}
+	// 3. Coordination messages: zero for central, positive elsewhere when
+	// coordination specs exist.
+	if results[analysis.Central].MsgsPerInstance[analysis.RowCoord] != 0 {
+		t.Error("central coordination messages should be 0")
+	}
+	if results[analysis.Distributed].MsgsPerInstance[analysis.RowCoord] <= 0 {
+		t.Error("distributed coordination messages should be positive")
+	}
+	if results[analysis.Parallel].MsgsPerInstance[analysis.RowCoord] <= 0 {
+		t.Error("parallel coordination messages should be positive")
+	}
+
+	// Measured Table 7 rankings are well-formed and match the headline
+	// analytic conclusions for load.
+	for _, c := range analysis.Criteria {
+		rk := RankMeasured(results, c, true)
+		if len(rk.Order) != 3 || rk.Order[0] != analysis.Distributed {
+			t.Errorf("measured load ranking for %v = %v, want Distributed first", c, rk.Order)
+		}
+	}
+	rk := RankMeasured(results, analysis.NormalOnly, false)
+	if rk.Order[0] != analysis.Distributed {
+		t.Errorf("measured normal message ranking = %v, want Distributed first", rk.Order)
+	}
+}
+
+func TestCompareAndFormat(t *testing.T) {
+	m := runArch(t, analysis.Central)
+	loads, msgs := Compare(m)
+	if len(loads) != 5 || len(msgs) != 5 {
+		t.Fatalf("Compare rows = %d/%d, want 5/5", len(loads), len(msgs))
+	}
+	out := FormatComparison("Table 4 (centralized)", m)
+	for _, want := range []string{"Table 4", "Analytic", "Measured", "Normal Execution", "2·s·a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatComparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	p := fastParams()
+	m, err := Run(Options{Arch: analysis.Central, Params: p, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instances != p.C*5 {
+		t.Errorf("default instances = %d, want %d", m.Instances, p.C*5)
+	}
+}
+
+func TestRunUnknownArch(t *testing.T) {
+	if _, err := Run(Options{Arch: analysis.Architecture(9), Params: fastParams(), Instances: 1}); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+}
+
+func TestOCRAblationReducesWork(t *testing.T) {
+	p := fastParams()
+	p.PF = 0.25 // plenty of rollbacks so OCR matters
+	p.RO, p.ME, p.RD = 0, 0, 0
+	base, err := Run(Options{Arch: analysis.Central, Params: p, Instances: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saga, err := Run(Options{Arch: analysis.Central, Params: p, Instances: 6, Seed: 9, DisableOCR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OCR strategy must not do more failure-handling work than the
+	// Saga-style fallback, and typically does strictly less.
+	if base.MsgsPerInstance[analysis.RowFailure] > saga.MsgsPerInstance[analysis.RowFailure]+1e-9 {
+		t.Errorf("OCR failure messages (%.3f) exceed Saga (%.3f)",
+			base.MsgsPerInstance[analysis.RowFailure], saga.MsgsPerInstance[analysis.RowFailure])
+	}
+	if base.MsgsPerInstance[analysis.RowFailure] >= saga.MsgsPerInstance[analysis.RowFailure] {
+		t.Logf("note: OCR did not strictly win at this point: ocr=%.3f saga=%.3f",
+			base.MsgsPerInstance[analysis.RowFailure], saga.MsgsPerInstance[analysis.RowFailure])
+	}
+}
+
+func TestElectionAblationCostsMessages(t *testing.T) {
+	p := fastParams()
+	p.PF, p.PI, p.PA = 0, 0, 0
+	p.ME, p.RO, p.RD = 0, 0, 0
+	base, err := Run(Options{Arch: analysis.Distributed, Params: p, Instances: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := Run(Options{Arch: analysis.Distributed, Params: p, Instances: 4, Seed: 5, ExplicitElection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probed.MsgsPerInstance[analysis.RowNormal] <= base.MsgsPerInstance[analysis.RowNormal] {
+		t.Errorf("explicit election should cost extra messages: base=%.2f probed=%.2f",
+			base.MsgsPerInstance[analysis.RowNormal], probed.MsgsPerInstance[analysis.RowNormal])
+	}
+}

@@ -1,0 +1,685 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a compiled expression ready for repeated evaluation.
+type Expr struct {
+	src  string
+	root node
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// String returns the original expression text.
+func (e *Expr) String() string { return e.src }
+
+// Refs returns the distinct data-item names referenced by the expression, in
+// first-occurrence order. The rule engine uses this to decide which data
+// arrivals can change a pending rule's precondition.
+func (e *Expr) Refs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(n node)
+	walk = func(n node) {
+		switch t := n.(type) {
+		case refNode:
+			if !seen[t.name] {
+				seen[t.name] = true
+				out = append(out, t.name)
+			}
+		case unaryNode:
+			walk(t.operand)
+		case binaryNode:
+			walk(t.left)
+			walk(t.right)
+		case callNode:
+			for _, a := range t.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	return out
+}
+
+// Eval evaluates the expression against env.
+func (e *Expr) Eval(env Env) (Value, error) {
+	return e.root.eval(env)
+}
+
+// EvalBool evaluates the expression and coerces the result to a boolean via
+// Truthy. This is the entry point for conditions.
+func (e *Expr) EvalBool(env Env) (bool, error) {
+	v, err := e.root.eval(env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// MustCompile is like Compile but panics on error; for statically known
+// expressions in tests and examples.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Compile parses src into an Expr. An empty or all-blank source compiles to
+// the constant true, which is the "no condition" case on control arcs.
+func Compile(src string) (*Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return &Expr{src: src, root: litNode{Bool(true)}}, nil
+	}
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d in %q", p.tok.text, p.tok.pos, src)
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// ---------------------------------------------------------------------------
+// AST
+
+type node interface {
+	eval(Env) (Value, error)
+}
+
+type litNode struct{ v Value }
+
+func (n litNode) eval(Env) (Value, error) { return n.v, nil }
+
+type refNode struct{ name string }
+
+func (n refNode) eval(env Env) (Value, error) {
+	if env == nil {
+		return Value{}, fmt.Errorf("expr: no environment for reference %q", n.name)
+	}
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		// Unbound references evaluate to null rather than erroring: a
+		// condition over a data item a prior step has not produced yet is
+		// simply not satisfied. exists() distinguishes the two cases.
+		return Null(), nil
+	}
+	return v, nil
+}
+
+type unaryNode struct {
+	op      string
+	operand node
+}
+
+func (n unaryNode) eval(env Env) (Value, error) {
+	v, err := n.operand.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "!":
+		return Bool(!v.Truthy()), nil
+	case "-":
+		f, ok := v.AsNum()
+		if !ok {
+			return Value{}, fmt.Errorf("expr: unary - applied to %s", v.Kind())
+		}
+		return Num(-f), nil
+	}
+	return Value{}, fmt.Errorf("expr: unknown unary operator %q", n.op)
+}
+
+type binaryNode struct {
+	op          string
+	left, right node
+}
+
+func (n binaryNode) eval(env Env) (Value, error) {
+	// Short-circuit logic first.
+	switch n.op {
+	case "&&":
+		l, err := n.left.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.Truthy() {
+			return Bool(false), nil
+		}
+		r, err := n.right.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.Truthy()), nil
+	case "||":
+		l, err := n.left.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := n.right.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.Truthy()), nil
+	}
+
+	l, err := n.left.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch n.op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c, err := compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "+":
+		if ls, ok := l.AsStr(); ok {
+			rs, ok := r.AsStr()
+			if !ok {
+				rs = r.String()
+			}
+			return Str(ls + rs), nil
+		}
+		return arith(n.op, l, r)
+	case "-", "*", "/", "%":
+		return arith(n.op, l, r)
+	}
+	return Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+}
+
+func compare(l, r Value) (int, error) {
+	if lf, ok := l.AsNum(); ok {
+		rf, ok := r.AsNum()
+		if !ok {
+			return 0, fmt.Errorf("expr: cannot compare %s with %s", l.Kind(), r.Kind())
+		}
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if ls, ok := l.AsStr(); ok {
+		rs, ok := r.AsStr()
+		if !ok {
+			return 0, fmt.Errorf("expr: cannot compare %s with %s", l.Kind(), r.Kind())
+		}
+		return strings.Compare(ls, rs), nil
+	}
+	return 0, fmt.Errorf("expr: cannot order values of kind %s", l.Kind())
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	lf, lok := l.AsNum()
+	rf, rok := r.AsNum()
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("expr: operator %q needs numbers, got %s and %s", op, l.Kind(), r.Kind())
+	}
+	switch op {
+	case "+":
+		return Num(lf + rf), nil
+	case "-":
+		return Num(lf - rf), nil
+	case "*":
+		return Num(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("expr: division by zero")
+		}
+		return Num(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("expr: modulo by zero")
+		}
+		li, ri := int64(lf), int64(rf)
+		return Num(float64(li % ri)), nil
+	}
+	return Value{}, fmt.Errorf("expr: unknown arithmetic operator %q", op)
+}
+
+type callNode struct {
+	fn   string
+	args []node
+	// For exists(), we need the raw name rather than the looked-up value.
+	rawRef string
+}
+
+func (n callNode) eval(env Env) (Value, error) {
+	switch n.fn {
+	case "exists":
+		if env == nil {
+			return Bool(false), nil
+		}
+		_, ok := env.Lookup(n.rawRef)
+		return Bool(ok), nil
+	case "abs", "min", "max":
+		vals := make([]float64, len(n.args))
+		for i, a := range n.args {
+			v, err := a.eval(env)
+			if err != nil {
+				return Value{}, err
+			}
+			f, ok := v.AsNum()
+			if !ok {
+				return Value{}, fmt.Errorf("expr: %s() needs numeric arguments, got %s", n.fn, v.Kind())
+			}
+			vals[i] = f
+		}
+		switch n.fn {
+		case "abs":
+			f := vals[0]
+			if f < 0 {
+				f = -f
+			}
+			return Num(f), nil
+		case "min":
+			m := vals[0]
+			for _, f := range vals[1:] {
+				if f < m {
+					m = f
+				}
+			}
+			return Num(m), nil
+		default: // max
+			m := vals[0]
+			for _, f := range vals[1:] {
+				if f > m {
+					m = f
+				}
+			}
+			return Num(m), nil
+		}
+	}
+	return Value{}, fmt.Errorf("expr: unknown function %q", n.fn)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) lex() (token, error) {
+	for l.i < len(l.src) && unicode.IsSpace(rune(l.src[l.i])) {
+		l.i++
+	}
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: l.i}, nil
+	}
+	start := l.i
+	c := l.src[l.i]
+	switch {
+	case c >= '0' && c <= '9', c == '.' && l.i+1 < len(l.src) && isDigit(l.src[l.i+1]):
+		for l.i < len(l.src) && (isDigit(l.src[l.i]) || l.src[l.i] == '.') {
+			l.i++
+		}
+		// exponent
+		if l.i < len(l.src) && (l.src[l.i] == 'e' || l.src[l.i] == 'E') {
+			j := l.i + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && isDigit(l.src[j]) {
+				l.i = j
+				for l.i < len(l.src) && isDigit(l.src[l.i]) {
+					l.i++
+				}
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.i], pos: start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.i++
+		var b strings.Builder
+		for l.i < len(l.src) && l.src[l.i] != quote {
+			if l.src[l.i] == '\\' && l.i+1 < len(l.src) {
+				l.i++
+				switch l.src[l.i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"', '\'':
+					b.WriteByte(l.src[l.i])
+				default:
+					return token{}, fmt.Errorf("expr: bad escape \\%c at offset %d", l.src[l.i], l.i)
+				}
+			} else {
+				b.WriteByte(l.src[l.i])
+			}
+			l.i++
+		}
+		if l.i >= len(l.src) {
+			return token{}, fmt.Errorf("expr: unterminated string starting at offset %d", start)
+		}
+		l.i++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	case isIdentStart(c):
+		for l.i < len(l.src) && (isIdentPart(l.src[l.i]) || l.src[l.i] == '.') {
+			l.i++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.i], pos: start}, nil
+	case c == '(':
+		l.i++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.i++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.i++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	default:
+		// operators, longest-match
+		two := ""
+		if l.i+1 < len(l.src) {
+			two = l.src[l.i : l.i+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			l.i += 2
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+		switch c {
+		case '<', '>', '!', '+', '-', '*', '/', '%':
+			l.i++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("expr: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }
+
+// ---------------------------------------------------------------------------
+// Parser (precedence climbing)
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "||" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: "||", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&&" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: "&&", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCmp() (node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.tok.text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return binaryNode{op: op, left: left, right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "!" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: op, operand: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at offset %d", p.tok.text, p.tok.pos)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return litNode{Num(f)}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return litNode{Str(s)}, nil
+	case tokIdent:
+		name := p.tok.text
+		pos := p.tok.pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "true":
+			return litNode{Bool(true)}, nil
+		case "false":
+			return litNode{Bool(false)}, nil
+		case "null":
+			return litNode{Null()}, nil
+		}
+		if p.tok.kind == tokLParen {
+			return p.parseCall(name, pos)
+		}
+		return refNode{name: name}, nil
+	case tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("expr: missing ) at offset %d", p.tok.pos)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+}
+
+func (p *parser) parseCall(fn string, pos int) (node, error) {
+	// current token is '('
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	call := callNode{fn: fn}
+	switch fn {
+	case "exists":
+		if p.tok.kind != tokIdent {
+			return nil, fmt.Errorf("expr: exists() needs a data-item name at offset %d", p.tok.pos)
+		}
+		call.rawRef = p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	case "abs", "min", "max":
+		for {
+			arg, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			call.args = append(call.args, arg)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if fn == "abs" && len(call.args) != 1 {
+			return nil, fmt.Errorf("expr: abs() takes exactly one argument")
+		}
+		if (fn == "min" || fn == "max") && len(call.args) < 1 {
+			return nil, fmt.Errorf("expr: %s() needs at least one argument", fn)
+		}
+	default:
+		return nil, fmt.Errorf("expr: unknown function %q at offset %d", fn, pos)
+	}
+	if p.tok.kind != tokRParen {
+		return nil, fmt.Errorf("expr: missing ) after %s(", fn)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

@@ -1,0 +1,43 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the value using native JSON types: null, number,
+// string, or boolean. The mapping is unambiguous in both directions, so
+// workflow packets and database records stay human-readable.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNum:
+		return json.Marshal(v.num)
+	case KindStr:
+		return json.Marshal(v.str)
+	case KindBool:
+		return json.Marshal(v.b)
+	default:
+		return []byte("null"), nil
+	}
+}
+
+// UnmarshalJSON decodes a native JSON scalar into a Value.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch t := raw.(type) {
+	case nil:
+		*v = Null()
+	case float64:
+		*v = Num(t)
+	case string:
+		*v = Str(t)
+	case bool:
+		*v = Bool(t)
+	default:
+		return fmt.Errorf("expr: cannot decode %T into Value", raw)
+	}
+	return nil
+}

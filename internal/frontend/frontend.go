@@ -1,0 +1,137 @@
+// Package frontend implements the paper's front-end database: the
+// administrative interface that maps external business identifiers (order
+// numbers, case IDs) to workflow instances and translates user requests into
+// workflow-interface invocations — WorkflowStart when an order is submitted,
+// WorkflowAbort when a customer cancels, WorkflowChangeInputs when an order
+// is amended, WorkflowStatus for inquiries. In distributed control it
+// interacts only with coordination agents, exactly as §4.1 prescribes.
+package frontend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crew/internal/expr"
+	"crew/internal/wfdb"
+)
+
+// System is the face of a WFMS deployment the front end drives; the
+// central, parallel and distributed System types all satisfy it.
+type System interface {
+	Start(workflow string, inputs map[string]expr.Value) (int, error)
+	Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error)
+	Abort(workflow string, id int) error
+	ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error
+	Status(workflow string, id int) (wfdb.Status, bool)
+}
+
+// ErrUnknownRequest reports an unmapped external identifier.
+var ErrUnknownRequest = errors.New("frontend: unknown request id")
+
+// ErrDuplicateRequest reports a reused external identifier.
+var ErrDuplicateRequest = errors.New("frontend: request id already exists")
+
+type binding struct {
+	workflow string
+	instance int
+}
+
+// FrontEnd maps external request IDs to workflow instances.
+type FrontEnd struct {
+	sys System
+
+	mu       sync.Mutex
+	requests map[string]binding
+}
+
+// New builds a front end over a running deployment.
+func New(sys System) *FrontEnd {
+	return &FrontEnd{sys: sys, requests: make(map[string]binding)}
+}
+
+// Submit starts a workflow instance for an external request.
+func (f *FrontEnd) Submit(requestID, workflow string, inputs map[string]expr.Value) error {
+	f.mu.Lock()
+	if _, dup := f.requests[requestID]; dup {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateRequest, requestID)
+	}
+	f.mu.Unlock()
+	id, err := f.sys.Start(workflow, inputs)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.requests[requestID] = binding{workflow: workflow, instance: id}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FrontEnd) lookup(requestID string) (binding, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.requests[requestID]
+	if !ok {
+		return binding{}, fmt.Errorf("%w: %q", ErrUnknownRequest, requestID)
+	}
+	return b, nil
+}
+
+// Cancel translates a customer cancellation into a workflow abort. Aborts of
+// committed workflows are rejected by the coordination agent/engine.
+func (f *FrontEnd) Cancel(requestID string) error {
+	b, err := f.lookup(requestID)
+	if err != nil {
+		return err
+	}
+	return f.sys.Abort(b.workflow, b.instance)
+}
+
+// Amend translates an order amendment into a workflow input change.
+func (f *FrontEnd) Amend(requestID string, inputs map[string]expr.Value) error {
+	b, err := f.lookup(requestID)
+	if err != nil {
+		return err
+	}
+	return f.sys.ChangeInputs(b.workflow, b.instance, inputs)
+}
+
+// Status answers a status inquiry.
+func (f *FrontEnd) Status(requestID string) (wfdb.Status, error) {
+	b, err := f.lookup(requestID)
+	if err != nil {
+		return 0, err
+	}
+	st, ok := f.sys.Status(b.workflow, b.instance)
+	if !ok {
+		return 0, fmt.Errorf("frontend: no status for %q", requestID)
+	}
+	return st, nil
+}
+
+// Wait blocks until the request's workflow terminates.
+func (f *FrontEnd) Wait(requestID string, timeout time.Duration) (wfdb.Status, error) {
+	b, err := f.lookup(requestID)
+	if err != nil {
+		return 0, err
+	}
+	return f.sys.Wait(b.workflow, b.instance, timeout)
+}
+
+// Instance exposes the binding for diagnostics.
+func (f *FrontEnd) Instance(requestID string) (workflow string, id int, err error) {
+	b, err := f.lookup(requestID)
+	if err != nil {
+		return "", 0, err
+	}
+	return b.workflow, b.instance, nil
+}
+
+// Requests returns the number of mapped requests.
+func (f *FrontEnd) Requests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.requests)
+}

@@ -1,0 +1,112 @@
+package frontend
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"crew/internal/central"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/wfdb"
+)
+
+func testSystem(t *testing.T) *central.System {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.Register("p", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		v, _ := ctx.Inputs["WF.I1"].AsNum()
+		return map[string]expr.Value{"O1": expr.Num(v * 2)}, nil
+	})
+	reg.Register("c", model.NopProgram())
+	reg.Register("gate", model.NopProgram())
+	lib := model.NewLibrary()
+	lib.Add(model.NewSchema("Order", "I1").
+		Step("A", "p", model.WithInputs("WF.I1"), model.WithOutputs("O1"), model.WithCompensation("c")).
+		Step("B", "gate").
+		Seq("A", "B").
+		MustBuild())
+	sys, err := central.NewSystem(central.SystemConfig{
+		Library:   lib,
+		Programs:  reg,
+		Collector: metrics.NewCollector(),
+		Agents:    []string{"a1"},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestSubmitStatusWait(t *testing.T) {
+	fe := New(testSystem(t))
+	if err := fe.Submit("ord-1", "Order", map[string]expr.Value{"I1": expr.Num(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if fe.Requests() != 1 {
+		t.Errorf("Requests = %d", fe.Requests())
+	}
+	st, err := fe.Wait("ord-1", 5*time.Second)
+	if err != nil || st != wfdb.Committed {
+		t.Fatalf("Wait = (%v, %v)", st, err)
+	}
+	st, err = fe.Status("ord-1")
+	if err != nil || st != wfdb.Committed {
+		t.Errorf("Status = (%v, %v)", st, err)
+	}
+	wf, id, err := fe.Instance("ord-1")
+	if err != nil || wf != "Order" || id != 1 {
+		t.Errorf("Instance = (%q, %d, %v)", wf, id, err)
+	}
+}
+
+func TestDuplicateAndUnknown(t *testing.T) {
+	fe := New(testSystem(t))
+	if err := fe.Submit("ord-1", "Order", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Submit("ord-1", "Order", nil); !errors.Is(err, ErrDuplicateRequest) {
+		t.Errorf("duplicate submit = %v", err)
+	}
+	if err := fe.Cancel("nope"); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown cancel = %v", err)
+	}
+	if err := fe.Amend("nope", nil); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown amend = %v", err)
+	}
+	if _, err := fe.Status("nope"); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown status = %v", err)
+	}
+	if _, err := fe.Wait("nope", time.Second); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown wait = %v", err)
+	}
+	if _, _, err := fe.Instance("nope"); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown instance = %v", err)
+	}
+}
+
+func TestSubmitUnknownWorkflow(t *testing.T) {
+	fe := New(testSystem(t))
+	if err := fe.Submit("x", "Ghost", nil); err == nil {
+		t.Error("unknown workflow should fail")
+	}
+	if fe.Requests() != 0 {
+		t.Error("failed submit should not be recorded")
+	}
+}
+
+func TestCancelAfterCommitRejected(t *testing.T) {
+	fe := New(testSystem(t))
+	if err := fe.Submit("ord-1", "Order", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := fe.Wait("ord-1", 5*time.Second); err != nil || st != wfdb.Committed {
+		t.Fatalf("Wait = (%v, %v)", st, err)
+	}
+	if err := fe.Cancel("ord-1"); err == nil {
+		t.Error("cancel after commit should be rejected")
+	}
+}

@@ -1,0 +1,622 @@
+// Package laws implements a compact form of LAWS, the paper's workflow
+// specification language: workflow definitions (steps, control and data
+// flow, if-then-else and parallel branches, loops, joins, nesting), the
+// failure-handling specification (rollback targets, compensation dependent
+// sets, OCR re-execution conditions, abort compensation), and the
+// coordinated-execution building blocks across workflows (relative ordering,
+// mutual exclusion, rollback dependencies). Compilation produces a
+// model.Library; the run-time systems then translate it into ECA rules, per
+// the paper's LAWS -> rules pipeline.
+//
+// Grammar sketch (comments start with '#'):
+//
+//	workflow Order {
+//	  inputs I1, I2
+//	  step Reserve {
+//	    program "reserve"
+//	    compensation "unreserve"
+//	    agents a1, a2
+//	    inputs WF.I1
+//	    outputs O1
+//	    update
+//	    incremental
+//	    join any
+//	    reexec when "WF.I1 > prev.WF.I1"
+//	  }
+//	  step Audit { nested AuditFlow }
+//	  Reserve -> Bill
+//	  Bill -> Ship when "Bill.O1 > 0"
+//	  Ship ~> Reserve when "Ship.O1 < 3"    # loop back-arc
+//	  on failure of Ship rollback to Reserve attempts 3
+//	  compset Reserve, Bill
+//	  abort compensate Reserve, Bill
+//	}
+//
+//	order "parts" {
+//	  pair Order.Reserve ~ Billing.Check
+//	  pair Order.Ship    ~ Billing.Pay
+//	}
+//	mutex "inventory" { Order.Reserve, Billing.Check }
+//	rollback of Order.Reserve forces Billing.Check
+package laws
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"crew/internal/model"
+)
+
+// Compile parses LAWS source into a validated library.
+func Compile(src string) (*model.Library, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, lib: model.NewLibrary()}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.lib.Validate(); err != nil {
+		return nil, err
+	}
+	return p.lib, nil
+}
+
+// MustCompile is Compile panicking on error, for statically known sources.
+func MustCompile(src string) *model.Library {
+	lib, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tLBrace
+	tRBrace
+	tComma
+	tArrow     // ->
+	tLoopArrow // ~>
+	tTilde     // ~
+	tDot       // .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tRBrace, "}", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tComma, ",", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tDot, ".", line})
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tArrow, "->", line})
+			i += 2
+		case c == '~' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tLoopArrow, "~>", line})
+			i += 2
+		case c == '~':
+			toks = append(toks, token{tTilde, "~", line})
+			i++
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				if src[j] == '\n' {
+					line++
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("laws: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tString, b.String(), line})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("laws: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+type parser struct {
+	toks []token
+	pos  int
+	lib  *model.Library
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("laws: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s, got %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) keyword(word string) bool {
+	if p.cur().kind == tIdent && p.cur().text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.keyword(word) {
+		return p.errf("expected %q, got %s", word, p.cur())
+	}
+	return nil
+}
+
+// identList parses ident (',' ident)*.
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(tIdent, "identifier")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if p.cur().kind != tComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+// dottedName parses ident ('.' ident)* and joins with dots.
+func (p *parser) dottedName() (string, error) {
+	t, err := p.expect(tIdent, "name")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	for p.cur().kind == tDot {
+		p.next()
+		t, err := p.expect(tIdent, "name after '.'")
+		if err != nil {
+			return "", err
+		}
+		name += "." + t.text
+	}
+	return name, nil
+}
+
+// stepRef parses Workflow.Step.
+func (p *parser) stepRef() (model.StepRef, error) {
+	wf, err := p.expect(tIdent, "workflow name")
+	if err != nil {
+		return model.StepRef{}, err
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return model.StepRef{}, err
+	}
+	st, err := p.expect(tIdent, "step name")
+	if err != nil {
+		return model.StepRef{}, err
+	}
+	return model.StepRef{Workflow: wf.text, Step: model.StepID(st.text)}, nil
+}
+
+func (p *parser) parse() error {
+	for {
+		switch {
+		case p.cur().kind == tEOF:
+			return nil
+		case p.keyword("workflow"):
+			if err := p.parseWorkflow(); err != nil {
+				return err
+			}
+		case p.keyword("order"):
+			if err := p.parseOrder(); err != nil {
+				return err
+			}
+		case p.keyword("mutex"):
+			if err := p.parseMutex(); err != nil {
+				return err
+			}
+		case p.keyword("rollback"):
+			if err := p.parseRollbackDep(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected workflow, order, mutex or rollback, got %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseWorkflow() error {
+	name, err := p.expect(tIdent, "workflow name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	s := &model.Schema{Name: name.text, Steps: make(map[model.StepID]*model.Step)}
+
+	for p.cur().kind != tRBrace {
+		switch {
+		case p.keyword("inputs"):
+			ins, err := p.identList()
+			if err != nil {
+				return err
+			}
+			s.Inputs = append(s.Inputs, ins...)
+		case p.keyword("step"):
+			if err := p.parseStep(s); err != nil {
+				return err
+			}
+		case p.keyword("on"):
+			if err := p.parseFailure(s); err != nil {
+				return err
+			}
+		case p.keyword("compset"):
+			ids, err := p.identList()
+			if err != nil {
+				return err
+			}
+			set := make([]model.StepID, len(ids))
+			for i, id := range ids {
+				set[i] = model.StepID(id)
+			}
+			s.CompSets = append(s.CompSets, set)
+		case p.keyword("abort"):
+			if err := p.expectKeyword("compensate"); err != nil {
+				return err
+			}
+			ids, err := p.identList()
+			if err != nil {
+				return err
+			}
+			for _, id := range ids {
+				s.AbortCompensate = append(s.AbortCompensate, model.StepID(id))
+			}
+		case p.cur().kind == tIdent:
+			if err := p.parseArc(s); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected %s in workflow body", p.cur())
+		}
+	}
+	p.next() // '}'
+	p.lib.Add(s)
+	return nil
+}
+
+func (p *parser) parseStep(s *model.Schema) error {
+	idTok, err := p.expect(tIdent, "step name")
+	if err != nil {
+		return err
+	}
+	st := &model.Step{ID: model.StepID(idTok.text)}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	for p.cur().kind != tRBrace {
+		switch {
+		case p.keyword("program"):
+			t, err := p.expect(tString, "program name string")
+			if err != nil {
+				return err
+			}
+			st.Program = t.text
+		case p.keyword("nested"):
+			t, err := p.expect(tIdent, "nested workflow name")
+			if err != nil {
+				return err
+			}
+			st.Nested = t.text
+		case p.keyword("compensation"):
+			t, err := p.expect(tString, "compensation program string")
+			if err != nil {
+				return err
+			}
+			st.Compensation = t.text
+		case p.keyword("agents"):
+			ag, err := p.identList()
+			if err != nil {
+				return err
+			}
+			st.EligibleAgents = append(st.EligibleAgents, ag...)
+		case p.keyword("inputs"):
+			for {
+				name, err := p.dottedName()
+				if err != nil {
+					return err
+				}
+				st.Inputs = append(st.Inputs, name)
+				if p.cur().kind != tComma {
+					break
+				}
+				p.next()
+			}
+		case p.keyword("outputs"):
+			outs, err := p.identList()
+			if err != nil {
+				return err
+			}
+			st.Outputs = append(st.Outputs, outs...)
+		case p.keyword("update"):
+			st.Update = true
+		case p.keyword("incremental"):
+			st.Incremental = true
+		case p.keyword("join"):
+			switch {
+			case p.keyword("any"):
+				st.Join = model.JoinAny
+			case p.keyword("all"):
+				st.Join = model.JoinAll
+			default:
+				return p.errf("expected 'any' or 'all' after join")
+			}
+		case p.keyword("reexec"):
+			if err := p.expectKeyword("when"); err != nil {
+				return err
+			}
+			t, err := p.expect(tString, "condition string")
+			if err != nil {
+				return err
+			}
+			st.ReexecCond = t.text
+		case p.keyword("name"):
+			t, err := p.expect(tString, "step label string")
+			if err != nil {
+				return err
+			}
+			st.Name = t.text
+		default:
+			return p.errf("unexpected %s in step body", p.cur())
+		}
+	}
+	p.next() // '}'
+	if _, dup := s.Steps[st.ID]; dup {
+		return fmt.Errorf("laws: workflow %s: duplicate step %s", s.Name, st.ID)
+	}
+	s.AddStep(st)
+	return nil
+}
+
+// parseArc parses "From -> To [when "cond"]" and "From ~> To when "cond"",
+// with comma-separated targets for parallel fan-out.
+func (p *parser) parseArc(s *model.Schema) error {
+	from, err := p.expect(tIdent, "step name")
+	if err != nil {
+		return err
+	}
+	loop := false
+	switch p.cur().kind {
+	case tArrow:
+		p.next()
+	case tLoopArrow:
+		loop = true
+		p.next()
+	default:
+		return p.errf("expected '->' or '~>' after %q", from.text)
+	}
+	targets, err := p.identList()
+	if err != nil {
+		return err
+	}
+	cond := ""
+	if p.keyword("when") {
+		t, err := p.expect(tString, "condition string")
+		if err != nil {
+			return err
+		}
+		cond = t.text
+	}
+	for _, to := range targets {
+		s.AddArc(model.Arc{
+			From: model.StepID(from.text),
+			To:   model.StepID(to),
+			Kind: model.Control,
+			Cond: cond,
+			Loop: loop,
+		})
+	}
+	return nil
+}
+
+// parseFailure parses "on failure of X rollback to Y [attempts N]".
+func (p *parser) parseFailure(s *model.Schema) error {
+	if err := p.expectKeyword("failure"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("of"); err != nil {
+		return err
+	}
+	step, err := p.expect(tIdent, "step name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("rollback"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("to"); err != nil {
+		return err
+	}
+	target, err := p.expect(tIdent, "step name")
+	if err != nil {
+		return err
+	}
+	attempts := 0
+	if p.keyword("attempts") {
+		t, err := p.expect(tNumber, "attempt count")
+		if err != nil {
+			return err
+		}
+		attempts, err = strconv.Atoi(t.text)
+		if err != nil {
+			return p.errf("bad attempt count %q", t.text)
+		}
+	}
+	if s.OnFailure == nil {
+		s.OnFailure = make(map[model.StepID]model.FailurePolicy)
+	}
+	s.OnFailure[model.StepID(step.text)] = model.FailurePolicy{
+		RollbackTo:  model.StepID(target.text),
+		MaxAttempts: attempts,
+	}
+	return nil
+}
+
+// parseOrder parses: order "name" { pair A.S ~ B.T ... }.
+func (p *parser) parseOrder() error {
+	name, err := p.expect(tString, "spec name string")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	spec := model.CoordSpec{Kind: model.RelativeOrder, Name: name.text}
+	for p.cur().kind != tRBrace {
+		if err := p.expectKeyword("pair"); err != nil {
+			return err
+		}
+		a, err := p.stepRef()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tTilde, "'~'"); err != nil {
+			return err
+		}
+		b, err := p.stepRef()
+		if err != nil {
+			return err
+		}
+		spec.Pairs = append(spec.Pairs, model.ConflictPair{A: a, B: b})
+	}
+	p.next() // '}'
+	p.lib.AddCoord(spec)
+	return nil
+}
+
+// parseMutex parses: mutex "name" { A.S, B.T, ... }.
+func (p *parser) parseMutex() error {
+	name, err := p.expect(tString, "spec name string")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	spec := model.CoordSpec{Kind: model.Mutex, Name: name.text}
+	for p.cur().kind != tRBrace {
+		ref, err := p.stepRef()
+		if err != nil {
+			return err
+		}
+		spec.MutexSteps = append(spec.MutexSteps, ref)
+		if p.cur().kind == tComma {
+			p.next()
+		}
+	}
+	p.next() // '}'
+	p.lib.AddCoord(spec)
+	return nil
+}
+
+// parseRollbackDep parses: rollback of A.S forces B.T.
+func (p *parser) parseRollbackDep() error {
+	if err := p.expectKeyword("of"); err != nil {
+		return err
+	}
+	trigger, err := p.stepRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("forces"); err != nil {
+		return err
+	}
+	target, err := p.stepRef()
+	if err != nil {
+		return err
+	}
+	p.lib.AddCoord(model.CoordSpec{
+		Kind:    model.RollbackDep,
+		Name:    fmt.Sprintf("rd:%s:%s", trigger, target),
+		Trigger: trigger,
+		Target:  target,
+	})
+	return nil
+}

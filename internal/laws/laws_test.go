@@ -1,0 +1,265 @@
+package laws
+
+import (
+	"strings"
+	"testing"
+
+	"crew/internal/model"
+)
+
+const orderSrc = `
+# Order processing, per the paper's motivating example.
+workflow Order {
+  inputs I1, I2
+
+  step Reserve {
+    program "reserve"
+    compensation "unreserve"
+    agents a1, a2
+    inputs WF.I1
+    outputs O1, O2
+    update
+    reexec when "WF.I1 > prev.WF.I1"
+  }
+  step Bill {
+    program "bill"
+    compensation "refund"
+    inputs Reserve.O1
+    outputs O1
+    incremental
+  }
+  step Ship {
+    program "ship"
+    inputs Bill.O1
+    outputs O1
+  }
+  step Notify { program "notify" }
+  step Done { program "done" join any }
+
+  Reserve -> Bill
+  Bill -> Ship when "Bill.O1 > 0"
+  Bill -> Notify when "Bill.O1 <= 0"
+  Ship -> Done
+  Notify -> Done
+  Ship ~> Reserve when "Ship.O1 < 0"
+
+  on failure of Ship rollback to Reserve attempts 4
+  compset Reserve, Bill
+  abort compensate Reserve, Bill
+}
+
+workflow Billing {
+  step Check { program "check" outputs O1 }
+  step Pay { program "pay" inputs Check.O1 }
+  Check -> Pay
+}
+
+order "parts" {
+  pair Order.Reserve ~ Billing.Check
+  pair Order.Ship    ~ Billing.Pay
+}
+
+mutex "inventory" { Order.Reserve, Billing.Check }
+
+rollback of Order.Reserve forces Billing.Check
+`
+
+func TestCompileOrderExample(t *testing.T) {
+	lib, err := Compile(orderSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := lib.Names()
+	if len(names) != 2 || names[0] != "Order" || names[1] != "Billing" {
+		t.Fatalf("Names = %v", names)
+	}
+	s := lib.Schema("Order")
+	if len(s.Steps) != 5 {
+		t.Errorf("Order steps = %d", len(s.Steps))
+	}
+	if len(s.Inputs) != 2 || s.Inputs[0] != "I1" {
+		t.Errorf("inputs = %v", s.Inputs)
+	}
+
+	res := s.Steps["Reserve"]
+	if res.Program != "reserve" || res.Compensation != "unreserve" || !res.Update {
+		t.Errorf("Reserve = %+v", res)
+	}
+	if len(res.EligibleAgents) != 2 || res.EligibleAgents[0] != "a1" {
+		t.Errorf("Reserve agents = %v", res.EligibleAgents)
+	}
+	if res.ReexecCond != "WF.I1 > prev.WF.I1" {
+		t.Errorf("Reserve reexec = %q", res.ReexecCond)
+	}
+	if len(res.Outputs) != 2 {
+		t.Errorf("Reserve outputs = %v", res.Outputs)
+	}
+	if !lib.Schema("Order").Steps["Bill"].Incremental {
+		t.Error("Bill should be incremental")
+	}
+	if s.Steps["Done"].Join != model.JoinAny {
+		t.Error("Done should join any")
+	}
+
+	// Arcs: conditional branch + loop back-arc.
+	var condArcs, loopArcs int
+	for _, a := range s.Arcs {
+		if a.Cond != "" && !a.Loop {
+			condArcs++
+		}
+		if a.Loop {
+			loopArcs++
+			if a.From != "Ship" || a.To != "Reserve" || a.Cond != "Ship.O1 < 0" {
+				t.Errorf("loop arc = %+v", a)
+			}
+		}
+	}
+	if condArcs != 2 || loopArcs != 1 {
+		t.Errorf("arcs: cond=%d loop=%d", condArcs, loopArcs)
+	}
+
+	// Failure policy.
+	pol, ok := s.OnFailure["Ship"]
+	if !ok || pol.RollbackTo != "Reserve" || pol.MaxAttempts != 4 {
+		t.Errorf("OnFailure = %+v", pol)
+	}
+	// Compset and abort.
+	if len(s.CompSets) != 1 || len(s.CompSets[0]) != 2 {
+		t.Errorf("CompSets = %v", s.CompSets)
+	}
+	if len(s.AbortCompensate) != 2 {
+		t.Errorf("AbortCompensate = %v", s.AbortCompensate)
+	}
+
+	// Coordination specs.
+	if len(lib.Coord) != 3 {
+		t.Fatalf("coord specs = %d", len(lib.Coord))
+	}
+	ro := lib.Coord[0]
+	if ro.Kind != model.RelativeOrder || ro.Name != "parts" || len(ro.Pairs) != 2 {
+		t.Errorf("order spec = %+v", ro)
+	}
+	if ro.Pairs[1].B != (model.StepRef{Workflow: "Billing", Step: "Pay"}) {
+		t.Errorf("pair = %+v", ro.Pairs[1])
+	}
+	mx := lib.Coord[1]
+	if mx.Kind != model.Mutex || len(mx.MutexSteps) != 2 {
+		t.Errorf("mutex spec = %+v", mx)
+	}
+	rd := lib.Coord[2]
+	if rd.Kind != model.RollbackDep || rd.Trigger.Step != "Reserve" || rd.Target.Workflow != "Billing" {
+		t.Errorf("rollback dep = %+v", rd)
+	}
+}
+
+func TestCompileNestedStep(t *testing.T) {
+	lib, err := Compile(`
+workflow Child { step C { program "c" outputs R } }
+workflow Parent {
+  step A { program "a" outputs O1 }
+  step N { nested Child inputs A.O1 outputs R }
+  A -> N
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lib.Schema("Parent").Steps["N"]
+	if n.Nested != "Child" || n.Program != "" {
+		t.Errorf("nested step = %+v", n)
+	}
+}
+
+func TestParallelFanOut(t *testing.T) {
+	lib, err := Compile(`
+workflow W {
+  step A { program "a" }
+  step B { program "b" }
+  step C { program "c" }
+  step J { program "j" join all }
+  A -> B, C
+  B -> J
+  C -> J
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lib.Schema("W")
+	if !s.IsParallelBranch("A") {
+		t.Error("A should fan out in parallel")
+	}
+	if !s.IsConfluence("J") {
+		t.Error("J should join")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	_, err := Compile("  # just a comment\n\n workflow W { # inline\n step A { program \"p\" } }\n#tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":                               "expected workflow",
+		"workflow":                              "workflow name",
+		"workflow W":                            "'{'",
+		"workflow W { step A { program \"p\" }": "", // unterminated: EOF inside body
+		"workflow W { step A { bogus } }":       "unexpected",
+		"workflow W { step A { program \"p\" } A }":                                        "'->' or '~>'",
+		"workflow W { step A { program \"p\" } A -> }":                                     "identifier",
+		"workflow W { step A { program \"p\" } step A { program \"q\" } }":                 "duplicate step",
+		"workflow W { step A { join sideways program \"p\" } }":                            "'any' or 'all'",
+		"workflow W { step A { program \"p\" reexec \"x\" } }":                             "when",
+		"workflow W { step A { program \"p\" } on failure of A rollback to A attempts x }": "",
+		`order "o" { pair A ~ B.C }`:                                                       "'.'",
+		`mutex "m" { A.B`:                                                                  "",
+		`rollback of A.B forces`:                                                           "workflow name",
+		`workflow W { step A { program "p" } } order "o" { pear A.B ~ C.D }`:               `"pair"`,
+		"workflow W { step A { program \"p\" $ } }":                                        "unexpected character",
+		`workflow W { step A { program "unterminated } }`:                                  "unterminated string",
+	}
+	for src, frag := range cases {
+		_, err := Compile(src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+			continue
+		}
+		if frag != "" && !strings.Contains(err.Error(), frag) {
+			t.Errorf("Compile(%q) error %q does not mention %q", src, err, frag)
+		}
+	}
+}
+
+func TestCompileRunsLibraryValidation(t *testing.T) {
+	// Syntactically fine but semantically invalid: arc to unknown step.
+	_, err := Compile(`workflow W { step A { program "p" } A -> Missing }`)
+	if err == nil || !strings.Contains(err.Error(), "unknown step") {
+		t.Errorf("expected validation error, got %v", err)
+	}
+	// Unknown nested workflow.
+	_, err = Compile(`workflow W { step A { nested Ghost } }`)
+	if err == nil || !strings.Contains(err.Error(), "nests unknown workflow") {
+		t.Errorf("expected nested validation error, got %v", err)
+	}
+}
+
+func TestMustCompile(t *testing.T) {
+	lib := MustCompile(`workflow W { step A { program "p" } }`)
+	if lib.Schema("W") == nil {
+		t.Error("MustCompile lost schema")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on bad source")
+		}
+	}()
+	MustCompile("not laws")
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Compile("workflow W {\n  step A { program \"p\" }\n  bogus -> }\n}")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should cite line 3: %v", err)
+	}
+}

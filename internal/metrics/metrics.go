@@ -1,0 +1,236 @@
+// Package metrics provides the measurement substrate for the CREW
+// reproduction: per-node load units and system-wide physical message counts,
+// broken down by the five mechanism classes the paper's evaluation compares
+// (normal execution, workflow input change, workflow abort, failure handling,
+// and coordinated execution).
+//
+// The paper measures "load at engine" in units of l, the navigation and other
+// load per step (number of instructions). Here one load unit corresponds to
+// one navigation action (rule evaluation, table update, packet pack/unpack,
+// or scheduling decision), which preserves the ratios that Tables 4-6 report.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mechanism classifies load and messages according to the paper's five
+// mechanism rows in Tables 4, 5 and 6.
+type Mechanism int
+
+const (
+	// Normal is ordinary forward execution: scheduling, navigation, step
+	// dispatch, commit processing.
+	Normal Mechanism = iota
+	// InputChange covers work caused by user-initiated workflow input
+	// changes (WorkflowChangeInputs / InputsChanged).
+	InputChange
+	// Abort covers user-initiated workflow aborts and the compensations
+	// they trigger.
+	Abort
+	// Failure covers logical step-failure handling: rollback, thread
+	// halting, event invalidation, compensation and re-execution.
+	Failure
+	// Coordination covers coordinated-execution requirements: mutual
+	// exclusion, relative ordering and rollback dependencies across
+	// concurrent workflows.
+	Coordination
+
+	numMechanisms = int(Coordination) + 1
+)
+
+// Mechanisms lists all mechanism classes in presentation order.
+var Mechanisms = [...]Mechanism{Normal, InputChange, Abort, Failure, Coordination}
+
+// String returns the mechanism name as used in the paper's tables.
+func (m Mechanism) String() string {
+	switch m {
+	case Normal:
+		return "Normal Execution"
+	case InputChange:
+		return "Workflow Input Change"
+	case Abort:
+		return "Workflow Abort"
+	case Failure:
+		return "Failure Handling"
+	case Coordination:
+		return "Coordinated Execution"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+type nodeCounters struct {
+	load [numMechanisms]int64
+}
+
+// Collector accumulates load units per node and message counts per mechanism.
+// It is safe for concurrent use; every agent, engine and transport in the
+// repository reports into one Collector per experiment run.
+type Collector struct {
+	mu    sync.Mutex
+	nodes map[string]*nodeCounters
+	msgs  [numMechanisms]int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{nodes: make(map[string]*nodeCounters)}
+}
+
+// AddLoad records units of load at node for mechanism m.
+func (c *Collector) AddLoad(node string, m Mechanism, units int64) {
+	if units == 0 {
+		return
+	}
+	c.mu.Lock()
+	nc := c.nodes[node]
+	if nc == nil {
+		nc = &nodeCounters{}
+		c.nodes[node] = nc
+	}
+	nc.load[m] += units
+	c.mu.Unlock()
+}
+
+// AddMessages records n physical messages of mechanism class m.
+func (c *Collector) AddMessages(m Mechanism, n int64) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.msgs[m] += n
+	c.mu.Unlock()
+}
+
+// Messages returns the total number of physical messages recorded for m.
+func (c *Collector) Messages(m Mechanism) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs[m]
+}
+
+// TotalMessages returns the number of messages across all mechanisms.
+func (c *Collector) TotalMessages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.msgs {
+		t += v
+	}
+	return t
+}
+
+// NodeLoad returns the load recorded at node for mechanism m.
+func (c *Collector) NodeLoad(node string, m Mechanism) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if nc := c.nodes[node]; nc != nil {
+		return nc.load[m]
+	}
+	return 0
+}
+
+// TotalLoad returns the load summed over all nodes for mechanism m.
+func (c *Collector) TotalLoad(m Mechanism) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, nc := range c.nodes {
+		t += nc.load[m]
+	}
+	return t
+}
+
+// Nodes returns the sorted names of all nodes that recorded load.
+func (c *Collector) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MaxNodeLoad returns the highest per-node load for mechanism m and the node
+// that carries it. The paper's "load at engine" for a scalability comparison
+// is the load at the most loaded scheduling node.
+func (c *Collector) MaxNodeLoad(m Mechanism) (node string, load int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, nc := range c.nodes {
+		if nc.load[m] > load || (nc.load[m] == load && (node == "" || n < node)) {
+			node, load = n, nc.load[m]
+		}
+	}
+	return node, load
+}
+
+// MeanNodeLoad returns the average per-node load for mechanism m over nodes
+// that recorded any load at all.
+func (c *Collector) MeanNodeLoad(m Mechanism) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	var t int64
+	for _, nc := range c.nodes {
+		t += nc.load[m]
+	}
+	return float64(t) / float64(len(c.nodes))
+}
+
+// Snapshot is an immutable copy of a Collector's counters.
+type Snapshot struct {
+	NodeLoad map[string][numMechanisms]int64
+	Messages [numMechanisms]int64
+}
+
+// Snapshot copies the current counters.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{NodeLoad: make(map[string][numMechanisms]int64, len(c.nodes))}
+	for n, nc := range c.nodes {
+		s.NodeLoad[n] = nc.load
+	}
+	s.Messages = c.msgs
+	return s
+}
+
+// MessagesOf returns the message count for m in the snapshot.
+func (s Snapshot) MessagesOf(m Mechanism) int64 { return s.Messages[m] }
+
+// Reset clears all counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.nodes = make(map[string]*nodeCounters)
+	c.msgs = [numMechanisms]int64{}
+	c.mu.Unlock()
+}
+
+// String renders a compact human-readable report, one line per mechanism.
+func (c *Collector) String() string {
+	var b strings.Builder
+	for _, m := range Mechanisms {
+		node, load := c.MaxNodeLoad(m)
+		fmt.Fprintf(&b, "%-22s msgs=%-8d totalLoad=%-8d maxNode=%s(%d)\n",
+			m, c.Messages(m), c.TotalLoad(m), node, load)
+	}
+	return b.String()
+}
+
+// PerInstance scales a raw count by the number of instances, as the paper
+// reports everything per workflow instance.
+func PerInstance(total int64, instances int) float64 {
+	if instances <= 0 {
+		return 0
+	}
+	return float64(total) / float64(instances)
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMechanismString(t *testing.T) {
+	cases := map[Mechanism]string{
+		Normal:       "Normal Execution",
+		InputChange:  "Workflow Input Change",
+		Abort:        "Workflow Abort",
+		Failure:      "Failure Handling",
+		Coordination: "Coordinated Execution",
+		Mechanism(9): "Mechanism(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mechanism(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestAddLoadAndQueries(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("engine", Normal, 10)
+	c.AddLoad("engine", Normal, 5)
+	c.AddLoad("agent1", Normal, 3)
+	c.AddLoad("agent1", Failure, 7)
+
+	if got := c.NodeLoad("engine", Normal); got != 15 {
+		t.Errorf("NodeLoad(engine, Normal) = %d, want 15", got)
+	}
+	if got := c.NodeLoad("agent1", Failure); got != 7 {
+		t.Errorf("NodeLoad(agent1, Failure) = %d, want 7", got)
+	}
+	if got := c.NodeLoad("missing", Normal); got != 0 {
+		t.Errorf("NodeLoad(missing) = %d, want 0", got)
+	}
+	if got := c.TotalLoad(Normal); got != 18 {
+		t.Errorf("TotalLoad(Normal) = %d, want 18", got)
+	}
+	node, load := c.MaxNodeLoad(Normal)
+	if node != "engine" || load != 15 {
+		t.Errorf("MaxNodeLoad(Normal) = (%q, %d), want (engine, 15)", node, load)
+	}
+	if got := c.MeanNodeLoad(Normal); got != 9 {
+		t.Errorf("MeanNodeLoad(Normal) = %g, want 9", got)
+	}
+}
+
+func TestAddLoadZeroIsNoop(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("n", Normal, 0)
+	if len(c.Nodes()) != 0 {
+		t.Errorf("zero-load add created a node entry: %v", c.Nodes())
+	}
+}
+
+func TestMessages(t *testing.T) {
+	c := NewCollector()
+	c.AddMessages(Normal, 4)
+	c.AddMessages(Normal, 6)
+	c.AddMessages(Coordination, 2)
+	c.AddMessages(Abort, 0)
+	if got := c.Messages(Normal); got != 10 {
+		t.Errorf("Messages(Normal) = %d, want 10", got)
+	}
+	if got := c.Messages(Coordination); got != 2 {
+		t.Errorf("Messages(Coordination) = %d, want 2", got)
+	}
+	if got := c.TotalMessages(); got != 12 {
+		t.Errorf("TotalMessages() = %d, want 12", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	c := NewCollector()
+	for _, n := range []string{"z", "a", "m"} {
+		c.AddLoad(n, Normal, 1)
+	}
+	got := c.Nodes()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxNodeLoadTieBreaksLexically(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("beta", Normal, 5)
+	c.AddLoad("alpha", Normal, 5)
+	node, load := c.MaxNodeLoad(Normal)
+	if node != "alpha" || load != 5 {
+		t.Errorf("MaxNodeLoad = (%q, %d), want (alpha, 5)", node, load)
+	}
+}
+
+func TestMaxNodeLoadEmpty(t *testing.T) {
+	c := NewCollector()
+	node, load := c.MaxNodeLoad(Normal)
+	if node != "" || load != 0 {
+		t.Errorf("MaxNodeLoad on empty = (%q, %d), want (\"\", 0)", node, load)
+	}
+	if got := c.MeanNodeLoad(Normal); got != 0 {
+		t.Errorf("MeanNodeLoad on empty = %g, want 0", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("n1", Normal, 3)
+	c.AddMessages(Failure, 2)
+	s := c.Snapshot()
+	c.AddLoad("n1", Normal, 100)
+	c.AddMessages(Failure, 100)
+	if got := s.NodeLoad["n1"][Normal]; got != 3 {
+		t.Errorf("snapshot NodeLoad mutated: got %d, want 3", got)
+	}
+	if got := s.MessagesOf(Failure); got != 2 {
+		t.Errorf("snapshot Messages mutated: got %d, want 2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("n1", Normal, 3)
+	c.AddMessages(Normal, 3)
+	c.Reset()
+	if c.TotalLoad(Normal) != 0 || c.TotalMessages() != 0 || len(c.Nodes()) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestStringMentionsAllMechanisms(t *testing.T) {
+	c := NewCollector()
+	c.AddLoad("e", Normal, 1)
+	out := c.String()
+	for _, m := range Mechanisms {
+		if !strings.Contains(out, m.String()) {
+			t.Errorf("String() missing mechanism %q:\n%s", m, out)
+		}
+	}
+}
+
+func TestPerInstance(t *testing.T) {
+	if got := PerInstance(60, 2); got != 30 {
+		t.Errorf("PerInstance(60,2) = %g, want 30", got)
+	}
+	if got := PerInstance(60, 0); got != 0 {
+		t.Errorf("PerInstance(60,0) = %g, want 0", got)
+	}
+	if got := PerInstance(60, -1); got != 0 {
+		t.Errorf("PerInstance(60,-1) = %g, want 0", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			node := string(rune('a' + id))
+			for i := 0; i < iters; i++ {
+				c.AddLoad(node, Normal, 1)
+				c.AddMessages(Coordination, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.TotalLoad(Normal); got != workers*iters {
+		t.Errorf("TotalLoad = %d, want %d", got, workers*iters)
+	}
+	if got := c.Messages(Coordination); got != workers*iters {
+		t.Errorf("Messages = %d, want %d", got, workers*iters)
+	}
+}
+
+// Property: total load always equals the sum of per-node loads, for any
+// sequence of additions.
+func TestPropertyTotalLoadIsSumOfNodes(t *testing.T) {
+	f := func(adds []uint8) bool {
+		c := NewCollector()
+		var want int64
+		for i, a := range adds {
+			node := string(rune('a' + i%5))
+			c.AddLoad(node, Failure, int64(a))
+			want += int64(a)
+		}
+		if c.TotalLoad(Failure) != want {
+			return false
+		}
+		var sum int64
+		for _, n := range c.Nodes() {
+			sum += c.NodeLoad(n, Failure)
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: messages are tracked independently per mechanism.
+func TestPropertyMessagesPerMechanismIndependent(t *testing.T) {
+	f := func(n1, n2 uint8) bool {
+		c := NewCollector()
+		c.AddMessages(Normal, int64(n1))
+		c.AddMessages(Abort, int64(n2))
+		return c.Messages(Normal) == int64(n1) &&
+			c.Messages(Abort) == int64(n2) &&
+			c.TotalMessages() == int64(n1)+int64(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package model
+
+// Builder constructs schemas fluently; examples and tests use it instead of
+// hand-assembling the maps. Errors surface from Build via Schema.Validate.
+type Builder struct {
+	s *Schema
+}
+
+// NewSchema starts a builder for a workflow class.
+func NewSchema(name string, inputs ...string) *Builder {
+	return &Builder{s: &Schema{
+		Name:   name,
+		Inputs: inputs,
+		Steps:  make(map[StepID]*Step),
+	}}
+}
+
+// StepOption customizes a step added via the builder.
+type StepOption func(*Step)
+
+// WithAgents sets the eligible agents.
+func WithAgents(agents ...string) StepOption {
+	return func(st *Step) { st.EligibleAgents = agents }
+}
+
+// WithCompensation sets the compensation program name.
+func WithCompensation(program string) StepOption {
+	return func(st *Step) { st.Compensation = program }
+}
+
+// WithInputs declares consumed data items (full names).
+func WithInputs(items ...string) StepOption {
+	return func(st *Step) { st.Inputs = items }
+}
+
+// WithOutputs declares produced data items (short names).
+func WithOutputs(items ...string) StepOption {
+	return func(st *Step) { st.Outputs = items }
+}
+
+// WithUpdate marks the step as an update (vs query) step.
+func WithUpdate() StepOption {
+	return func(st *Step) { st.Update = true }
+}
+
+// WithJoin sets the confluence policy.
+func WithJoin(p JoinPolicy) StepOption {
+	return func(st *Step) { st.Join = p }
+}
+
+// WithReexecCond sets the OCR compensation-and-re-execution condition.
+func WithReexecCond(cond string) StepOption {
+	return func(st *Step) { st.ReexecCond = cond }
+}
+
+// WithIncremental marks the step as supporting partial compensation and
+// incremental re-execution.
+func WithIncremental() StepOption {
+	return func(st *Step) { st.Incremental = true }
+}
+
+// WithName sets the human-readable step label.
+func WithName(name string) StepOption {
+	return func(st *Step) { st.Name = name }
+}
+
+// Step adds a step executing the named program.
+func (b *Builder) Step(id StepID, program string, opts ...StepOption) *Builder {
+	st := &Step{ID: id, Program: program}
+	for _, o := range opts {
+		o(st)
+	}
+	b.s.AddStep(st)
+	return b
+}
+
+// NestedStep adds a step that runs a child workflow.
+func (b *Builder) NestedStep(id StepID, child string, opts ...StepOption) *Builder {
+	st := &Step{ID: id, Nested: child}
+	for _, o := range opts {
+		o(st)
+	}
+	b.s.AddStep(st)
+	return b
+}
+
+// Arc adds an unconditional control arc.
+func (b *Builder) Arc(from, to StepID) *Builder {
+	b.s.AddArc(Arc{From: from, To: to, Kind: Control})
+	return b
+}
+
+// CondArc adds a conditioned control arc (if-then-else branch leg).
+func (b *Builder) CondArc(from, to StepID, cond string) *Builder {
+	b.s.AddArc(Arc{From: from, To: to, Kind: Control, Cond: cond})
+	return b
+}
+
+// LoopArc adds a back arc: when from completes and cond holds, control
+// returns to to.
+func (b *Builder) LoopArc(from, to StepID, cond string) *Builder {
+	b.s.AddArc(Arc{From: from, To: to, Kind: Control, Cond: cond, Loop: true})
+	return b
+}
+
+// DataArc adds an explicit data arc.
+func (b *Builder) DataArc(from, to StepID) *Builder {
+	b.s.AddArc(Arc{From: from, To: to, Kind: Data})
+	return b
+}
+
+// Seq adds unconditional control arcs chaining the given steps in order.
+func (b *Builder) Seq(ids ...StepID) *Builder {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Arc(ids[i], ids[i+1])
+	}
+	return b
+}
+
+// CompSet declares a compensation dependent set.
+func (b *Builder) CompSet(ids ...StepID) *Builder {
+	b.s.CompSets = append(b.s.CompSets, ids)
+	return b
+}
+
+// OnFailure sets the failure policy of a step.
+func (b *Builder) OnFailure(step, rollbackTo StepID, maxAttempts int) *Builder {
+	if b.s.OnFailure == nil {
+		b.s.OnFailure = make(map[StepID]FailurePolicy)
+	}
+	b.s.OnFailure[step] = FailurePolicy{RollbackTo: rollbackTo, MaxAttempts: maxAttempts}
+	return b
+}
+
+// AbortCompensate limits the steps compensated on user abort.
+func (b *Builder) AbortCompensate(ids ...StepID) *Builder {
+	b.s.AbortCompensate = ids
+	return b
+}
+
+// Build validates and returns the schema.
+func (b *Builder) Build() (*Schema, error) {
+	if err := b.s.Validate(); err != nil {
+		return nil, err
+	}
+	return b.s, nil
+}
+
+// MustBuild is Build panicking on error; for statically known schemas.
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"crew/internal/expr"
+)
+
+func TestExecModeString(t *testing.T) {
+	cases := map[ExecMode]string{
+		ModeExecute:     "execute",
+		ModeIncremental: "incremental",
+		ModeCompensate:  "compensate",
+		ModePartialComp: "partial-compensate",
+		ExecMode(9):     "ExecMode(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("ExecMode(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Register("p1", NopProgram("O1"))
+	p, ok := r.Lookup("p1")
+	if !ok || p == nil {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup of missing program succeeded")
+	}
+	if len(r.Names()) != 1 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("p", NopProgram())
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	r.Register("p", NopProgram())
+}
+
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Register("p", ConstProgram(map[string]expr.Value{"O1": expr.Num(1)}))
+	r.Replace("p", ConstProgram(map[string]expr.Value{"O1": expr.Num(2)}))
+	p, _ := r.Lookup("p")
+	out, err := p(&ProgramContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := out["O1"].AsNum(); v != 2 {
+		t.Errorf("Replace did not take effect: %v", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.Register("p", NopProgram())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if _, ok := r.Lookup("p"); !ok {
+					t.Error("Lookup failed under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNopAndConstPrograms(t *testing.T) {
+	nop := NopProgram("A", "B")
+	out, err := nop(&ProgramContext{})
+	if err != nil || len(out) != 2 || !out["A"].IsNull() {
+		t.Errorf("NopProgram = (%v, %v)", out, err)
+	}
+	c := ConstProgram(map[string]expr.Value{"X": expr.Str("v")})
+	out, err = c(&ProgramContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := out["X"].AsStr(); s != "v" {
+		t.Errorf("ConstProgram = %v", out)
+	}
+	// ConstProgram must copy its map so callers can't corrupt it.
+	out["X"] = expr.Num(0)
+	out2, _ := c(&ProgramContext{})
+	if s, _ := out2["X"].AsStr(); s != "v" {
+		t.Error("ConstProgram shares its output map")
+	}
+}
+
+func TestFailNTimes(t *testing.T) {
+	p := FailNTimes(2, NopProgram("O1"))
+	ctx := &ProgramContext{Mode: ModeExecute}
+	var failure *StepFailure
+	for i := 0; i < 2; i++ {
+		if _, err := p(ctx); !errors.As(err, &failure) {
+			t.Fatalf("attempt %d: expected StepFailure, got %v", i, err)
+		}
+	}
+	if _, err := p(ctx); err != nil {
+		t.Fatalf("third attempt should succeed: %v", err)
+	}
+	// Compensation invocations do not consume failures.
+	p2 := FailNTimes(1, NopProgram())
+	if _, err := p2(&ProgramContext{Mode: ModeCompensate}); err != nil {
+		t.Error("compensation should not fail")
+	}
+	if _, err := p2(&ProgramContext{Mode: ModeExecute}); err == nil {
+		t.Error("first execute should still fail")
+	}
+}
+
+func TestStepFailureError(t *testing.T) {
+	err := Fail("boom")
+	if err.Error() != "step failure: boom" {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestProgramContextInputEnv(t *testing.T) {
+	ctx := &ProgramContext{Inputs: map[string]expr.Value{"WF.I1": expr.Num(5)}}
+	e := expr.MustCompile("WF.I1 == 5")
+	ok, err := e.EvalBool(ctx.InputEnv())
+	if err != nil || !ok {
+		t.Errorf("InputEnv eval = (%v, %v)", ok, err)
+	}
+}

@@ -1,0 +1,208 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func wantInvalid(t *testing.T, err error, fragment string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("Validate succeeded, want error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("Validate error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestValidateAcceptsGoodSchemas(t *testing.T) {
+	for _, s := range []*Schema{linear(t), diamond(t), ifElse(t)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsEmptyAndUnnamed(t *testing.T) {
+	err := (&Schema{}).Validate()
+	wantInvalid(t, err, "no steps")
+	wantInvalid(t, err, "no name")
+}
+
+func TestValidateRejectsDotInStepID(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S.1", Program: "p"})
+	wantInvalid(t, s.Validate(), "must not contain '.'")
+}
+
+func TestValidateRejectsMissingProgram(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1"})
+	wantInvalid(t, s.Validate(), "neither program nor nested")
+}
+
+func TestValidateRejectsProgramAndNested(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1", Program: "p", Nested: "Child"})
+	wantInvalid(t, s.Validate(), "both program and nested")
+}
+
+func TestValidateRejectsUnknownArcEndpoints(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1", Program: "p"})
+	s.AddArc(Arc{From: "S1", To: "S9", Kind: Control})
+	wantInvalid(t, s.Validate(), "unknown step S9")
+}
+
+func TestValidateRejectsBadConditions(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1", Program: "p"})
+	s.AddStep(&Step{ID: "S2", Program: "p"})
+	s.AddArc(Arc{From: "S1", To: "S2", Kind: Control, Cond: "1 +"})
+	wantInvalid(t, s.Validate(), "condition")
+
+	s2 := &Schema{Name: "X"}
+	s2.AddStep(&Step{ID: "S1", Program: "p", ReexecCond: ")("})
+	wantInvalid(t, s2.Validate(), "reexec condition")
+}
+
+func TestValidateRejectsCycles(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1", Program: "p"})
+	s.AddStep(&Step{ID: "S2", Program: "p"})
+	s.AddArc(Arc{From: "S1", To: "S2", Kind: Control})
+	s.AddArc(Arc{From: "S2", To: "S1", Kind: Control})
+	wantInvalid(t, s.Validate(), "cycle")
+}
+
+func TestValidateLoopArcRules(t *testing.T) {
+	// Loop arc without condition.
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "A", Program: "p"})
+	s.AddStep(&Step{ID: "B", Program: "p"})
+	s.AddArc(Arc{From: "A", To: "B", Kind: Control})
+	s.AddArc(Arc{From: "B", To: "A", Kind: Control, Loop: true})
+	wantInvalid(t, s.Validate(), "repeat condition")
+
+	// Loop arc whose head cannot reach its tail.
+	s2 := &Schema{Name: "X"}
+	s2.AddStep(&Step{ID: "A", Program: "p"})
+	s2.AddStep(&Step{ID: "B", Program: "p"})
+	s2.AddStep(&Step{ID: "C", Program: "p"})
+	s2.AddArc(Arc{From: "A", To: "B", Kind: Control})
+	s2.AddArc(Arc{From: "A", To: "C", Kind: Control})
+	s2.AddArc(Arc{From: "B", To: "C", Kind: Control, Loop: true, Cond: "true"})
+	wantInvalid(t, s2.Validate(), "head does not reach tail")
+
+	// Loop arc of kind Data.
+	s3 := &Schema{Name: "X"}
+	s3.AddStep(&Step{ID: "A", Program: "p"})
+	s3.AddStep(&Step{ID: "B", Program: "p"})
+	s3.AddArc(Arc{From: "A", To: "B", Kind: Control})
+	s3.AddArc(Arc{From: "B", To: "A", Kind: Data, Loop: true, Cond: "true"})
+	wantInvalid(t, s3.Validate(), "must be a control arc")
+}
+
+func TestValidateCompSets(t *testing.T) {
+	s := linear(t)
+	s.CompSets = [][]StepID{{"S1"}}
+	wantInvalid(t, s.Validate(), "fewer than 2")
+
+	s = linear(t)
+	s.CompSets = [][]StepID{{"S1", "S9"}}
+	wantInvalid(t, s.Validate(), "unknown step S9")
+
+	s = linear(t)
+	s.CompSets = [][]StepID{{"S1", "S3"}} // S3 not compensable
+	wantInvalid(t, s.Validate(), "not compensable")
+
+	s = linear(t)
+	s.CompSets = [][]StepID{{"S1", "S2"}, {"S2", "S1"}}
+	wantInvalid(t, s.Validate(), "belongs to compensation sets")
+}
+
+func TestValidateFailurePolicies(t *testing.T) {
+	s := linear(t)
+	s.OnFailure = map[StepID]FailurePolicy{"S9": {RollbackTo: "S1"}}
+	wantInvalid(t, s.Validate(), "failure policy for unknown step")
+
+	s = linear(t)
+	s.OnFailure = map[StepID]FailurePolicy{"S2": {RollbackTo: "S9"}}
+	wantInvalid(t, s.Validate(), "unknown step S9")
+
+	s = linear(t)
+	s.OnFailure = map[StepID]FailurePolicy{"S1": {RollbackTo: "S3"}}
+	wantInvalid(t, s.Validate(), "cannot reach")
+}
+
+func TestValidateInputsNeedProducers(t *testing.T) {
+	s := NewSchema("X", "I1").
+		Step("S1", "p", WithInputs("WF.I2")). // not a declared input
+		MustBuildUnchecked()
+	wantInvalid(t, s.Validate(), "no producer")
+
+	ok := NewSchema("X", "I1").
+		Step("S1", "p", WithInputs("WF.I1")).
+		MustBuild()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestValidateOutputsPlainNames(t *testing.T) {
+	s := &Schema{Name: "X"}
+	s.AddStep(&Step{ID: "S1", Program: "p", Outputs: []string{"O.1"}})
+	wantInvalid(t, s.Validate(), "plain name")
+}
+
+func TestLibraryValidate(t *testing.T) {
+	l := NewLibrary()
+	l.Add(linear(t))
+	if err := l.Validate(); err != nil {
+		t.Fatalf("valid library rejected: %v", err)
+	}
+
+	// Unknown nested workflow.
+	l2 := NewLibrary()
+	s := &Schema{Name: "P"}
+	s.AddStep(&Step{ID: "S1", Nested: "Missing"})
+	l2.Add(s)
+	wantInvalid(t, l2.Validate(), "nests unknown workflow")
+
+	// Self-nesting.
+	l3 := NewLibrary()
+	s3 := &Schema{Name: "P"}
+	s3.AddStep(&Step{ID: "S1", Nested: "P"})
+	l3.Add(s3)
+	wantInvalid(t, l3.Validate(), "nests its own workflow")
+
+	// Coordination referencing unknown steps.
+	l4 := NewLibrary()
+	l4.Add(linear(t))
+	l4.AddCoord(CoordSpec{Kind: Mutex, MutexSteps: []StepRef{{"Lin", "S1"}, {"Nope", "S1"}}})
+	wantInvalid(t, l4.Validate(), "unknown step")
+
+	l5 := NewLibrary()
+	l5.Add(linear(t))
+	l5.AddCoord(CoordSpec{Kind: Mutex, MutexSteps: []StepRef{{"Lin", "S1"}}})
+	wantInvalid(t, l5.Validate(), "at least 2 steps")
+
+	l6 := NewLibrary()
+	l6.Add(linear(t))
+	l6.AddCoord(CoordSpec{Kind: RelativeOrder})
+	wantInvalid(t, l6.Validate(), "no conflict pairs")
+
+	l7 := NewLibrary()
+	l7.Add(linear(t))
+	l7.AddCoord(CoordSpec{Kind: RollbackDep, Trigger: StepRef{"Lin", "S9"}, Target: StepRef{"Lin", "S1"}})
+	wantInvalid(t, l7.Validate(), "unknown trigger")
+
+	l8 := NewLibrary()
+	l8.Add(linear(t))
+	l8.AddCoord(CoordSpec{Kind: CoordKind(42)})
+	wantInvalid(t, l8.Validate(), "unknown kind")
+}
+
+// MustBuildUnchecked exposes builder output without validation, only for
+// tests that need to construct deliberately invalid schemas fluently.
+func (b *Builder) MustBuildUnchecked() *Schema { return b.s }

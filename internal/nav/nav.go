@@ -1,0 +1,251 @@
+// Package nav implements workflow navigation logic shared by the
+// centralized, parallel and distributed control architectures: determining
+// which terminal steps are still potentially reachable (the commit
+// condition), invalidating events and re-arming rules when a workflow is
+// rolled back or a loop iterates, and the deterministic successor-agent
+// election used in distributed control.
+package nav
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/model"
+	"crew/internal/rules"
+	"crew/internal/wfdb"
+)
+
+// PotentialTerminals returns the terminal steps of the schema that are still
+// potentially reachable given the instance's current state:
+//
+//   - successors of an executed step are reachable along arcs whose
+//     condition holds (or is absent);
+//   - successors of a not-yet-executed reachable step are all reachable
+//     (conservative: the future is unknown, so commit must wait);
+//   - arcs whose condition cannot be evaluated yet count as reachable.
+//
+// A workflow is committed when every potentially reachable terminal step has
+// executed — the coordination agent's commit test.
+func PotentialTerminals(s *model.Schema, ins *wfdb.Instance) []model.StepID {
+	env := ins.Env()
+	reach := make(map[model.StepID]bool)
+	var frontier []model.StepID
+	for _, id := range s.StartSteps() {
+		reach[id] = true
+		frontier = append(frontier, id)
+	}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		executed := ins.Executed(cur)
+		for _, a := range s.ControlSuccessors(cur) {
+			include := true
+			if executed && a.Cond != "" {
+				e, err := expr.Compile(a.Cond)
+				if err == nil {
+					if ok, evalErr := e.EvalBool(env); evalErr == nil {
+						include = ok
+					}
+				}
+			}
+			if include && !reach[a.To] {
+				reach[a.To] = true
+				frontier = append(frontier, a.To)
+			}
+		}
+	}
+	var out []model.StepID
+	for _, id := range s.TerminalSteps() {
+		if reach[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ShouldCommit reports whether the instance satisfies the commit condition:
+// it is still running and every potentially reachable terminal step has
+// executed.
+func ShouldCommit(s *model.Schema, ins *wfdb.Instance) bool {
+	if ins.Status != wfdb.Running {
+		return false
+	}
+	terms := PotentialTerminals(s, ins)
+	if len(terms) == 0 {
+		return false
+	}
+	for _, id := range terms {
+		if !ins.Executed(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// InvalidationSet returns the steps whose events a rollback to origin must
+// invalidate: every (non-loop) control descendant of origin. The origin
+// itself is re-executed through the OCR path, so its done event is also
+// invalidated when reset is requested by the caller.
+func InvalidationSet(s *model.Schema, origin model.StepID) []model.StepID {
+	desc := s.Descendants(origin)
+	var out []model.StepID
+	for _, id := range s.Order {
+		if desc[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ResetSteps invalidates the step.done and step.fail events of the given
+// steps, re-arms their execution rules, and resets their step-table status to
+// pending while retaining the previous inputs/outputs (which the OCR strategy
+// needs). It returns the number of events invalidated — the paper's v
+// parameter counts these invalidations.
+func ResetSteps(ins *wfdb.Instance, eng *rules.Engine, steps []model.StepID) int {
+	n := 0
+	for _, id := range steps {
+		if ins.Events.Invalidate(event.DoneName(string(id))) {
+			n++
+		}
+		if ins.Events.Invalidate(event.FailName(string(id))) {
+			n++
+		}
+		if r := ins.Steps[id]; r != nil && (r.Status == wfdb.StepDone || r.Status == wfdb.StepFailed || r.Status == wfdb.StepExecuting) {
+			r.Status = wfdb.StepPending
+		}
+		if eng != nil {
+			eng.RearmWhere(func(ruleID string) bool {
+				return rules.IsExecRuleFor(ruleID, id)
+			})
+		}
+	}
+	return n
+}
+
+// ApplyRollback performs the state-level part of a partial rollback to
+// origin: descendants of origin are reset (events invalidated, rules
+// re-armed, statuses cleared) and the origin's own done/fail events are
+// invalidated so its rule can re-fire. It returns the steps that were reset
+// (the "affected threads") and the number of invalidated events.
+func ApplyRollback(s *model.Schema, ins *wfdb.Instance, eng *rules.Engine, origin model.StepID) (affected []model.StepID, invalidated int) {
+	affected = InvalidationSet(s, origin)
+	invalidated = ResetSteps(ins, eng, affected)
+	invalidated += ResetSteps(ins, eng, []model.StepID{origin})
+	return affected, invalidated
+}
+
+// ApplyLoopBack resets the loop body (head..tail inclusive) for another
+// iteration and returns the body steps. Unlike a rollback, a loop iteration
+// is a fresh execution, not an OCR revisit: previous results are discarded
+// (HasResult cleared) so every iteration runs the body programs anew. Data
+// items from the last iteration stay in the data table until overwritten.
+func ApplyLoopBack(s *model.Schema, ins *wfdb.Instance, eng *rules.Engine, head, tail model.StepID) []model.StepID {
+	body := s.LoopBody(head, tail)
+	ResetSteps(ins, eng, body)
+	for _, id := range body {
+		if r := ins.Steps[id]; r != nil {
+			r.HasResult = false
+		}
+	}
+	return body
+}
+
+// ElectAgent deterministically picks the agent that will execute a step from
+// the step's eligible agents, restricted to those the alive predicate admits
+// (nil means all alive). Every node computes the same choice from the same
+// inputs, which implements the paper's successor "leader election" without
+// extra messages: all eligible successor agents receive the workflow packet
+// and each can tell locally whether it is the executor.
+//
+// It returns "" when no eligible agent is alive.
+func ElectAgent(eligible []string, workflow string, instance int, step model.StepID, alive func(string) bool) string {
+	cands := make([]string, 0, len(eligible))
+	for _, a := range eligible {
+		if alive == nil || alive(a) {
+			cands = append(cands, a)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	sort.Strings(cands)
+	h := fnv.New32a()
+	h.Write([]byte(workflow))
+	h.Write([]byte{0})
+	h.Write([]byte{byte(instance), byte(instance >> 8), byte(instance >> 16), byte(instance >> 24)})
+	h.Write([]byte{0})
+	h.Write([]byte(step))
+	return cands[int(h.Sum32())%len(cands)]
+}
+
+// ActiveBranchTargets evaluates the outgoing non-loop control arcs of a
+// completed step against the instance data and returns the successor steps
+// whose arc condition holds (all successors for unconditional arcs).
+// Conditions that fail to evaluate are treated as not taken.
+func ActiveBranchTargets(s *model.Schema, ins *wfdb.Instance, from model.StepID) []model.StepID {
+	env := ins.Env()
+	var out []model.StepID
+	for _, a := range s.ControlSuccessors(from) {
+		if a.Cond == "" {
+			out = append(out, a.To)
+			continue
+		}
+		e, err := expr.Compile(a.Cond)
+		if err != nil {
+			continue
+		}
+		if ok, err := e.EvalBool(env); err == nil && ok {
+			out = append(out, a.To)
+		}
+	}
+	return out
+}
+
+// AbandonedBranchSteps returns the steps with uncompensated results that lie
+// on branches out of a branching step other than the ones now taken — the
+// steps whose effects must be compensated when re-execution takes a
+// different branch (paper's Figure 3: S3 must be compensated when the bottom
+// branch is taken). The check uses HasResult rather than status because a
+// rollback resets statuses while retaining results. Steps reachable from a
+// taken branch are excluded (shared suffixes after a confluence are still
+// valid).
+func AbandonedBranchSteps(s *model.Schema, ins *wfdb.Instance, branch model.StepID, taken []model.StepID) []model.StepID {
+	takenSet := make(map[model.StepID]bool)
+	for _, id := range taken {
+		takenSet[id] = true
+		for d := range s.Descendants(id) {
+			takenSet[d] = true
+		}
+	}
+	hasResult := func(id model.StepID) bool {
+		r := ins.Steps[id]
+		return r != nil && r.HasResult
+	}
+	var out []model.StepID
+	seen := make(map[model.StepID]bool)
+	for _, a := range s.ControlSuccessors(branch) {
+		if takenSet[a.To] {
+			continue
+		}
+		for _, id := range append([]model.StepID{a.To}, setToOrdered(s, s.Descendants(a.To))...) {
+			if !takenSet[id] && !seen[id] && hasResult(id) {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+func setToOrdered(s *model.Schema, set map[model.StepID]bool) []model.StepID {
+	var out []model.StepID
+	for _, id := range s.Order {
+		if set[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package ocr implements the paper's opportunistic compensation and
+// re-execution (OCR) strategy (Figure 5): when a partially rolled-back
+// workflow revisits a step that already executed, the step is not blindly
+// compensated and re-executed (the Saga-style overkill). Instead:
+//
+//   - if the previous execution is still valid in the new context, its
+//     results are reused and step.done is emitted without re-running the
+//     step (no compensation, no re-execution);
+//   - if the step supports it, a partial compensation followed by an
+//     incremental re-execution produces an effect equivalent to complete
+//     compensation plus complete re-execution at a fraction of the cost;
+//   - otherwise the step is completely compensated and completely
+//     re-executed.
+//
+// Whether re-execution is needed is controlled by the step's
+// compensation-and-re-execution condition, evaluated over the instance data
+// table and the previous execution (names prefixed "prev." resolve to the
+// previous inputs and outputs). Steps without an explicit condition use the
+// opportunistic default: re-execute only if the step's inputs changed.
+//
+// The order in which steps are compensated honors compensation dependent
+// sets: members of a set are compensated only in the reverse of their
+// execution order.
+package ocr
+
+import (
+	"fmt"
+
+	"crew/internal/expr"
+	"crew/internal/model"
+	"crew/internal/wfdb"
+)
+
+// Decision is the OCR outcome for revisiting an executed step.
+type Decision int
+
+const (
+	// Reuse means the previous execution stands: emit step.done with the
+	// previous outputs; no compensation, no re-execution.
+	Reuse Decision = iota
+	// CompleteCR means complete compensation followed by complete
+	// re-execution.
+	CompleteCR
+	// IncrementalCR means partial compensation followed by incremental
+	// re-execution.
+	IncrementalCR
+	// ExecuteFresh means the step has no valid previous execution (first
+	// visit, or it was already compensated): execute normally.
+	ExecuteFresh
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Reuse:
+		return "reuse"
+	case CompleteCR:
+		return "complete-compensate+reexecute"
+	case IncrementalCR:
+		return "partial-compensate+incremental-reexecute"
+	case ExecuteFresh:
+		return "execute"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// PrevPrefix is the name prefix under which a step's previous execution is
+// exposed to its re-execution condition.
+const PrevPrefix = "prev."
+
+// PrevEnv builds the expression environment layer exposing a previous
+// execution: prev.<full input name> for inputs and prev.<StepID>.<out> for
+// outputs.
+func PrevEnv(step model.StepID, rec *wfdb.StepRecord) expr.MapEnv {
+	env := make(expr.MapEnv, len(rec.Inputs)+len(rec.Outputs))
+	for name, v := range rec.Inputs {
+		env[PrevPrefix+name] = v
+	}
+	for short, v := range rec.Outputs {
+		env[PrevPrefix+step.Ref(short)] = v
+	}
+	return env
+}
+
+// InputsChanged reports whether the new inputs differ from the recorded
+// previous inputs (missing-vs-present counts as a change).
+func InputsChanged(prev, next map[string]expr.Value) bool {
+	if len(prev) != len(next) {
+		return true
+	}
+	for k, v := range next {
+		pv, ok := prev[k]
+		if !ok || !pv.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide implements the decision core of the OCR algorithm for one step.
+// data is the instance data environment; newInputs are the inputs the step
+// would execute with now.
+func Decide(st *model.Step, rec *wfdb.StepRecord, newInputs map[string]expr.Value, data expr.Env) (Decision, error) {
+	if rec == nil || !rec.HasResult {
+		return ExecuteFresh, nil
+	}
+	needReexec := false
+	if st.ReexecCond != "" {
+		cond, err := expr.Compile(st.ReexecCond)
+		if err != nil {
+			return CompleteCR, fmt.Errorf("ocr: step %s condition: %w", st.ID, err)
+		}
+		env := expr.ChainEnv{PrevEnv(st.ID, rec), expr.MapEnv(newInputs), data}
+		ok, err := cond.EvalBool(env)
+		if err != nil {
+			// An unevaluable condition falls back to the conservative
+			// complete compensation and re-execution.
+			return CompleteCR, fmt.Errorf("ocr: step %s condition: %w", st.ID, err)
+		}
+		needReexec = ok
+	} else {
+		needReexec = InputsChanged(rec.Inputs, newInputs)
+	}
+	if !needReexec {
+		return Reuse, nil
+	}
+	if st.Incremental {
+		return IncrementalCR, nil
+	}
+	return CompleteCR, nil
+}
+
+// PlanCompensation returns the steps to compensate, in order, before (and
+// including) compensating the given step, honoring its compensation
+// dependent set: executed members of the set that ran after the step are
+// compensated first, in reverse execution order. A step outside any set
+// compensates alone.
+func PlanCompensation(s *model.Schema, ins *wfdb.Instance, step model.StepID) []model.StepID {
+	set := s.CompSetOf(step)
+	if set == nil {
+		return []model.StepID{step}
+	}
+	ordered := ins.ResultMembersInOrder(set)
+	pos := -1
+	for i, id := range ordered {
+		if id == step {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		// The step itself is not currently executed (or not in order);
+		// compensate only it.
+		return []model.StepID{step}
+	}
+	var plan []model.StepID
+	for i := len(ordered) - 1; i > pos; i-- {
+		plan = append(plan, ordered[i])
+	}
+	return append(plan, step)
+}
+
+// Cost models the paper's performance argument: the overhead of the OCR
+// strategy is maintaining previous-execution data and checking the condition
+// (small), while the savings scale with the step's execution and
+// compensation cost. CostUnits returns the load units an OCR decision incurs
+// given the step's execution cost and compensation cost (in load units).
+func CostUnits(d Decision, execCost, compCost int64) int64 {
+	const checkOverhead = 1 // condition check + bookkeeping
+	switch d {
+	case Reuse:
+		return checkOverhead
+	case IncrementalCR:
+		// Partial compensation and incremental re-execution each cost a
+		// fraction of their complete counterparts; the paper does not fix
+		// the fraction, we use half, configurable at the call sites that
+		// need other ratios.
+		return checkOverhead + compCost/2 + execCost/2
+	case CompleteCR:
+		return checkOverhead + compCost + execCost
+	default: // ExecuteFresh
+		return execCost
+	}
+}

@@ -1,0 +1,320 @@
+package ocr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crew/internal/expr"
+	"crew/internal/model"
+	"crew/internal/wfdb"
+)
+
+func step(opts ...model.StepOption) *model.Step {
+	st := &model.Step{ID: "S2", Program: "p", Compensation: "c"}
+	for _, o := range opts {
+		o(st)
+	}
+	return st
+}
+
+func doneRec(inputs, outputs map[string]expr.Value) *wfdb.StepRecord {
+	return &wfdb.StepRecord{Status: wfdb.StepDone, Inputs: inputs, Outputs: outputs, Attempts: 1, HasResult: true}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Reuse:         "reuse",
+		CompleteCR:    "complete-compensate+reexecute",
+		IncrementalCR: "partial-compensate+incremental-reexecute",
+		ExecuteFresh:  "execute",
+		Decision(9):   "Decision(9)",
+	} {
+		if d.String() != want {
+			t.Errorf("Decision(%d) = %q, want %q", int(d), d, want)
+		}
+	}
+}
+
+func TestDecideFreshWhenNoRecord(t *testing.T) {
+	d, err := Decide(step(), nil, nil, nil)
+	if err != nil || d != ExecuteFresh {
+		t.Errorf("Decide(nil rec) = (%v, %v)", d, err)
+	}
+	// Compensated or failed records also mean fresh execution.
+	for _, status := range []wfdb.StepStatus{wfdb.StepCompensated, wfdb.StepFailed, wfdb.StepPending} {
+		rec := &wfdb.StepRecord{Status: status}
+		d, err := Decide(step(), rec, nil, nil)
+		if err != nil || d != ExecuteFresh {
+			t.Errorf("Decide(status=%v) = (%v, %v)", status, d, err)
+		}
+	}
+}
+
+func TestDecideDefaultReusesWhenInputsUnchanged(t *testing.T) {
+	in := map[string]expr.Value{"WF.I1": expr.Num(5)}
+	rec := doneRec(in, map[string]expr.Value{"O1": expr.Num(9)})
+	d, err := Decide(step(), rec, map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
+	if err != nil || d != Reuse {
+		t.Errorf("unchanged inputs = (%v, %v), want Reuse", d, err)
+	}
+}
+
+func TestDecideDefaultReexecutesWhenInputsChanged(t *testing.T) {
+	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
+	d, err := Decide(step(), rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
+	if err != nil || d != CompleteCR {
+		t.Errorf("changed inputs = (%v, %v), want CompleteCR", d, err)
+	}
+}
+
+func TestDecideIncrementalWhenSupported(t *testing.T) {
+	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
+	st := step(model.WithIncremental())
+	d, err := Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
+	if err != nil || d != IncrementalCR {
+		t.Errorf("incremental step = (%v, %v), want IncrementalCR", d, err)
+	}
+}
+
+func TestDecideExplicitCondition(t *testing.T) {
+	// Re-execute only when the new quantity exceeds the previously reserved
+	// quantity — the classic "previous results sufficient" case.
+	st := step(model.WithReexecCond("WF.I1 > prev.WF.I1"))
+	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(10)}, map[string]expr.Value{"O1": expr.Num(1)})
+
+	d, err := Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(7)}, expr.MapEnv{})
+	if err != nil || d != Reuse {
+		t.Errorf("smaller quantity = (%v, %v), want Reuse", d, err)
+	}
+	d, err = Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(12)}, expr.MapEnv{})
+	if err != nil || d != CompleteCR {
+		t.Errorf("larger quantity = (%v, %v), want CompleteCR", d, err)
+	}
+}
+
+func TestDecideConditionSeesPrevOutputs(t *testing.T) {
+	st := step(model.WithReexecCond("prev.S2.O1 < WF.I1"))
+	rec := doneRec(nil, map[string]expr.Value{"O1": expr.Num(3)})
+	data := expr.MapEnv{"WF.I1": expr.Num(5)}
+	d, err := Decide(st, rec, nil, data)
+	if err != nil || d != CompleteCR {
+		t.Errorf("prev output condition = (%v, %v), want CompleteCR", d, err)
+	}
+	data["WF.I1"] = expr.Num(2)
+	d, err = Decide(st, rec, nil, data)
+	if err != nil || d != Reuse {
+		t.Errorf("prev output condition = (%v, %v), want Reuse", d, err)
+	}
+}
+
+func TestDecideUnevaluableConditionFallsBackConservatively(t *testing.T) {
+	st := step(model.WithReexecCond(`"s" < 1`))
+	rec := doneRec(nil, nil)
+	d, err := Decide(st, rec, nil, expr.MapEnv{})
+	if err == nil {
+		t.Error("expected error for unevaluable condition")
+	}
+	if d != CompleteCR {
+		t.Errorf("fallback = %v, want CompleteCR", d)
+	}
+	st2 := step()
+	st2.ReexecCond = "1 +"
+	d, err = Decide(st2, rec, nil, expr.MapEnv{})
+	if err == nil || d != CompleteCR {
+		t.Errorf("uncompilable condition = (%v, %v)", d, err)
+	}
+}
+
+func TestInputsChanged(t *testing.T) {
+	a := map[string]expr.Value{"x": expr.Num(1)}
+	if InputsChanged(a, map[string]expr.Value{"x": expr.Num(1)}) {
+		t.Error("identical inputs reported changed")
+	}
+	if !InputsChanged(a, map[string]expr.Value{"x": expr.Num(2)}) {
+		t.Error("different value not reported")
+	}
+	if !InputsChanged(a, map[string]expr.Value{"y": expr.Num(1)}) {
+		t.Error("different key not reported")
+	}
+	if !InputsChanged(a, nil) {
+		t.Error("missing inputs not reported")
+	}
+	if InputsChanged(nil, nil) {
+		t.Error("both nil reported changed")
+	}
+}
+
+func TestPrevEnv(t *testing.T) {
+	rec := doneRec(
+		map[string]expr.Value{"WF.I1": expr.Num(10), "S1.O1": expr.Str("part")},
+		map[string]expr.Value{"O1": expr.Num(3)},
+	)
+	env := PrevEnv("S2", rec)
+	if v, ok := env.Lookup("prev.WF.I1"); !ok || !v.Equal(expr.Num(10)) {
+		t.Error("prev input missing")
+	}
+	if v, ok := env.Lookup("prev.S1.O1"); !ok || !v.Equal(expr.Str("part")) {
+		t.Error("prev upstream input missing")
+	}
+	if v, ok := env.Lookup("prev.S2.O1"); !ok || !v.Equal(expr.Num(3)) {
+		t.Error("prev output missing")
+	}
+}
+
+func compSchema(t *testing.T) *model.Schema {
+	t.Helper()
+	return model.NewSchema("CS").
+		Step("A", "p", model.WithCompensation("c")).
+		Step("B", "p", model.WithCompensation("c")).
+		Step("C", "p", model.WithCompensation("c")).
+		Step("D", "p", model.WithCompensation("c")).
+		Seq("A", "B", "C", "D").
+		CompSet("A", "B", "C").
+		MustBuild()
+}
+
+func TestPlanCompensationReverseOrder(t *testing.T) {
+	s := compSchema(t)
+	ins := wfdb.NewInstance("CS", 1, nil)
+	for _, id := range []model.StepID{"A", "B", "C", "D"} {
+		ins.RecordDone(id, nil)
+	}
+	plan := PlanCompensation(s, ins, "A")
+	want := []model.StepID{"C", "B", "A"}
+	if len(plan) != len(want) {
+		t.Fatalf("plan = %v, want %v", plan, want)
+	}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Fatalf("plan = %v, want %v", plan, want)
+		}
+	}
+}
+
+func TestPlanCompensationMidSet(t *testing.T) {
+	s := compSchema(t)
+	ins := wfdb.NewInstance("CS", 1, nil)
+	for _, id := range []model.StepID{"A", "B", "C"} {
+		ins.RecordDone(id, nil)
+	}
+	plan := PlanCompensation(s, ins, "B")
+	if len(plan) != 2 || plan[0] != "C" || plan[1] != "B" {
+		t.Errorf("plan = %v, want [C B]", plan)
+	}
+}
+
+func TestPlanCompensationOutsideSet(t *testing.T) {
+	s := compSchema(t)
+	ins := wfdb.NewInstance("CS", 1, nil)
+	ins.RecordDone("D", nil)
+	plan := PlanCompensation(s, ins, "D")
+	if len(plan) != 1 || plan[0] != "D" {
+		t.Errorf("plan = %v, want [D]", plan)
+	}
+}
+
+func TestPlanCompensationSkipsCompensatedMembers(t *testing.T) {
+	s := compSchema(t)
+	ins := wfdb.NewInstance("CS", 1, nil)
+	for _, id := range []model.StepID{"A", "B", "C"} {
+		ins.RecordDone(id, nil)
+	}
+	ins.RecordCompensated("C")
+	plan := PlanCompensation(s, ins, "A")
+	if len(plan) != 2 || plan[0] != "B" || plan[1] != "A" {
+		t.Errorf("plan = %v, want [B A]", plan)
+	}
+}
+
+func TestPlanCompensationStepNotExecuted(t *testing.T) {
+	s := compSchema(t)
+	ins := wfdb.NewInstance("CS", 1, nil)
+	ins.RecordDone("B", nil)
+	// A never executed: compensating A alone (no set work).
+	plan := PlanCompensation(s, ins, "A")
+	if len(plan) != 1 || plan[0] != "A" {
+		t.Errorf("plan = %v, want [A]", plan)
+	}
+}
+
+func TestCostUnits(t *testing.T) {
+	if CostUnits(Reuse, 100, 50) != 1 {
+		t.Error("Reuse should cost only the check")
+	}
+	if CostUnits(CompleteCR, 100, 50) != 151 {
+		t.Errorf("CompleteCR = %d, want 151", CostUnits(CompleteCR, 100, 50))
+	}
+	if CostUnits(IncrementalCR, 100, 50) != 76 {
+		t.Errorf("IncrementalCR = %d, want 76", CostUnits(IncrementalCR, 100, 50))
+	}
+	if CostUnits(ExecuteFresh, 100, 50) != 100 {
+		t.Error("ExecuteFresh should cost execCost")
+	}
+}
+
+// Property: OCR never costs more than the Saga-style complete strategy, and
+// reuse is never more expensive than any other decision.
+func TestPropertyOCRNeverWorseThanSaga(t *testing.T) {
+	f := func(execRaw, compRaw uint16, d8 uint8) bool {
+		execCost, compCost := int64(execRaw)+1, int64(compRaw)
+		d := Decision(int(d8) % 3) // Reuse, CompleteCR, IncrementalCR
+		saga := CostUnits(CompleteCR, execCost, compCost)
+		return CostUnits(d, execCost, compCost) <= saga &&
+			CostUnits(Reuse, execCost, compCost) <= CostUnits(d, execCost, compCost)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the compensation plan is always a suffix-reversal of the set's
+// execution order ending at the requested step, and contains no duplicates.
+func TestPropertyPlanIsReverseSuffix(t *testing.T) {
+	s := compSchema(t)
+	f := func(perm uint8, target uint8) bool {
+		ins := wfdb.NewInstance("CS", 1, nil)
+		orderings := [][]model.StepID{
+			{"A", "B", "C"}, {"A", "C", "B"}, {"B", "A", "C"},
+			{"B", "C", "A"}, {"C", "A", "B"}, {"C", "B", "A"},
+		}
+		order := orderings[int(perm)%len(orderings)]
+		for _, id := range order {
+			ins.RecordDone(id, nil)
+		}
+		tgt := order[int(target)%3]
+		plan := PlanCompensation(s, ins, tgt)
+		if plan[len(plan)-1] != tgt {
+			return false
+		}
+		// The plan must be the reverse of the execution order from tgt on.
+		idx := -1
+		for i, id := range order {
+			if id == tgt {
+				idx = i
+			}
+		}
+		suffix := order[idx:]
+		if len(plan) != len(suffix) {
+			return false
+		}
+		for i := range plan {
+			if plan[i] != suffix[len(suffix)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideErrorMessagesNameTheStep(t *testing.T) {
+	st := step(model.WithReexecCond("1 +"))
+	st.ReexecCond = "1 +"
+	_, err := Decide(st, doneRec(nil, nil), nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "S2") {
+		t.Errorf("error should name the step: %v", err)
+	}
+}

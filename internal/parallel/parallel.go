@@ -1,0 +1,468 @@
+// Package parallel implements the parallel workflow control architecture
+// (paper Figure 6(b) and §6): several centralized engines work side by side
+// to share the workflow management load, each instance being controlled by
+// exactly one engine. Normal execution behaves like centralized control at
+// every engine (the per-instance message count is unchanged), but
+// coordinated execution now spans engines: the coordination state for the
+// library's specs lives at a home engine, and the other engines reach it
+// with physical messages — which is why, unlike Table 4's zero, Table 5
+// reports coordination messages that grow with the number of engines.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crew/internal/central"
+	"crew/internal/coord"
+	"crew/internal/expr"
+	"crew/internal/metrics"
+	"crew/internal/model"
+	"crew/internal/transport"
+	"crew/internal/wfdb"
+)
+
+// Coordination protocol payloads (engine <-> home engine).
+
+type coordCheck struct {
+	Ref         model.StepRef
+	Inst        coord.InstanceRef
+	ReplyEngine string
+}
+
+type coordResolve struct {
+	Inst       coord.InstanceRef
+	Step       model.StepID
+	WaitEvents []string
+}
+
+type coordDone struct {
+	Ref  model.StepRef
+	Inst coord.InstanceRef
+}
+
+type coordFailed struct {
+	Ref  model.StepRef
+	Inst coord.InstanceRef
+}
+
+type coordRollback struct {
+	Workflow    string
+	Invalidated []model.StepID
+}
+
+type coordForget struct {
+	Inst coord.InstanceRef
+}
+
+type coordInject struct {
+	Target coord.InstanceRef
+	Event  string
+}
+
+type coordOrder struct {
+	Order coord.RollbackOrder
+}
+
+// Message kind labels.
+const (
+	kindCoordCheck   = "CoordCheck"
+	kindCoordResolve = "CoordResolve"
+	kindCoordDone    = "CoordDone"
+	kindCoordFailed  = "CoordFailed"
+	kindCoordRollbk  = "CoordRollback"
+	kindCoordForget  = "CoordForget"
+	kindCoordInject  = "CoordInject"
+	kindCoordOrder   = "CoordOrder"
+)
+
+// SystemConfig parameterizes a parallel deployment.
+type SystemConfig struct {
+	Library   *model.Library
+	Programs  *model.Registry
+	Collector *metrics.Collector
+	// Engines is the paper's e; minimum 1.
+	Engines int
+	// Agents lists the shared application agents.
+	Agents []string
+	// DBs optionally gives each engine a database (len must equal Engines).
+	DBs        []*wfdb.DB
+	DisableOCR bool
+	Logf       func(format string, args ...any)
+}
+
+// System is a running parallel WFMS deployment.
+type System struct {
+	engines []*central.Engine
+	net     *transport.Network
+	agents  []*central.Agent
+	col     *metrics.Collector
+	home    *homeCoordinator
+
+	mu     sync.Mutex
+	owner  map[string]int // instance key -> engine index
+	nextID map[string]int
+	rr     int
+}
+
+// NewSystem builds and starts a parallel deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Library == nil || cfg.Programs == nil {
+		return nil, errors.New("parallel: system needs a library and programs")
+	}
+	if err := cfg.Library.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engines < 1 {
+		cfg.Engines = 1
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector()
+	}
+	if cfg.DBs != nil && len(cfg.DBs) != cfg.Engines {
+		return nil, errors.New("parallel: DBs length must equal Engines")
+	}
+	agents := cfg.Agents
+	if len(agents) == 0 {
+		agents = cfg.Library.SortedAgents()
+	}
+	if len(agents) == 0 {
+		agents = []string{"agent1", "agent2"}
+	}
+
+	net := transport.New(cfg.Collector)
+	sys := &System{
+		net:    net,
+		col:    cfg.Collector,
+		owner:  make(map[string]int),
+		nextID: make(map[string]int),
+	}
+
+	for i := 0; i < cfg.Engines; i++ {
+		name := fmt.Sprintf("engine%d", i)
+		var db *wfdb.DB
+		if cfg.DBs != nil {
+			db = cfg.DBs[i]
+		}
+		idx := i
+		eng, err := central.NewEngine(central.Config{
+			Name:       name,
+			Library:    cfg.Library,
+			Agents:     agents,
+			Programs:   cfg.Programs,
+			Collector:  cfg.Collector,
+			DB:         db,
+			DisableOCR: cfg.DisableOCR,
+			Logf:       cfg.Logf,
+			OnUnhandled: func(m transport.Message) {
+				sys.onCoordMessage(idx, m)
+			},
+		}, net)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		sys.engines = append(sys.engines, eng)
+	}
+
+	sys.home = &homeCoordinator{
+		sys:     sys,
+		tracker: coord.NewTracker(cfg.Library),
+		idx:     0,
+	}
+	for i, eng := range sys.engines {
+		eng.SetCoordinator(&remoteCoordinator{sys: sys, idx: i})
+	}
+
+	for _, name := range agents {
+		ag, err := central.NewAgent(name, net, cfg.Programs, cfg.Collector)
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("parallel: agent %s: %w", name, err)
+		}
+		sys.agents = append(sys.agents, ag)
+	}
+	return sys, nil
+}
+
+// Engines returns the number of engines.
+func (s *System) Engines() int { return len(s.engines) }
+
+// Collector returns the metrics collector.
+func (s *System) Collector() *metrics.Collector { return s.col }
+
+// Network exposes the transport.
+func (s *System) Network() *transport.Network { return s.net }
+
+// ownerOf returns the engine index owning an instance (defaults to 0).
+func (s *System) ownerOf(inst coord.InstanceRef) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.owner[wfdb.InstanceKeyOf(inst.Workflow, inst.ID)]
+}
+
+// engineFor returns the engine owning an instance.
+func (s *System) engineFor(workflow string, id int) *central.Engine {
+	s.mu.Lock()
+	idx := s.owner[wfdb.InstanceKeyOf(workflow, id)]
+	s.mu.Unlock()
+	return s.engines[idx]
+}
+
+// Start launches an instance on the next engine (round robin) and returns
+// its ID.
+func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	s.mu.Lock()
+	s.nextID[workflow]++
+	id := s.nextID[workflow]
+	idx := s.rr % len(s.engines)
+	s.rr++
+	s.owner[wfdb.InstanceKeyOf(workflow, id)] = idx
+	eng := s.engines[idx]
+	s.mu.Unlock()
+	if err := eng.StartWithID(workflow, id, inputs); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Run starts an instance and waits for its terminal status.
+func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
+	id, err := s.Start(workflow, inputs)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := s.Wait(workflow, id, timeout)
+	return id, st, err
+}
+
+// Wait blocks until the instance terminates.
+func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	select {
+	case st := <-s.engineFor(workflow, id).WaitChan(workflow, id):
+		return st, nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("parallel: timeout waiting for %s.%d", workflow, id)
+	}
+}
+
+// Abort requests a user abort.
+func (s *System) Abort(workflow string, id int) error {
+	return s.engineFor(workflow, id).Abort(workflow, id)
+}
+
+// ChangeInputs applies user-initiated input changes.
+func (s *System) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	return s.engineFor(workflow, id).ChangeInputs(workflow, id, inputs)
+}
+
+// Status reports an instance's status.
+func (s *System) Status(workflow string, id int) (wfdb.Status, bool) {
+	return s.engineFor(workflow, id).Status(workflow, id)
+}
+
+// Snapshot returns a deep copy of the instance state.
+func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
+	return s.engineFor(workflow, id).Snapshot(workflow, id)
+}
+
+// Close shuts the deployment down.
+func (s *System) Close() {
+	s.net.Close()
+	for _, e := range s.engines {
+		e.Stop()
+	}
+	for _, a := range s.agents {
+		a.Stop()
+	}
+}
+
+func (s *System) send(from, to string, kind string, payload any) {
+	_ = s.net.Send(transport.Message{
+		From:      from,
+		To:        to,
+		Mechanism: metrics.Coordination,
+		Kind:      kind,
+		Payload:   payload,
+	})
+}
+
+// onCoordMessage dispatches coordination protocol messages. It runs on the
+// receiving engine's goroutine.
+func (s *System) onCoordMessage(engineIdx int, m transport.Message) {
+	eng := s.engines[engineIdx]
+	switch p := m.Payload.(type) {
+	case coordCheck:
+		s.home.check(p.Ref, p.Inst, p.ReplyEngine)
+	case coordDone:
+		s.home.stepDone(p.Ref, p.Inst)
+	case coordFailed:
+		s.home.stepFailed(p.Ref, p.Inst)
+	case coordRollback:
+		s.home.rollback(p.Workflow, p.Invalidated)
+	case coordForget:
+		s.home.forget(p.Inst)
+	case coordResolve:
+		eng.ResolveCoord(p.Inst.Workflow, p.Inst.ID, p.Step, p.WaitEvents)
+	case coordInject:
+		eng.InjectEvent(p.Target.Workflow, p.Target.ID, p.Event)
+	case coordOrder:
+		eng.ApplyRollbackOrder(p.Order)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Home coordinator: owns the tracker; runs on engine 0's goroutine.
+
+type homeCoordinator struct {
+	sys     *System
+	tracker *coord.Tracker
+	idx     int // home engine index
+}
+
+func (h *homeCoordinator) homeEngine() *central.Engine { return h.sys.engines[h.idx] }
+
+func (h *homeCoordinator) load(units int64) {
+	if h.sys.col != nil {
+		h.sys.col.AddLoad(h.homeEngine().Name(), metrics.Coordination, units)
+	}
+}
+
+// deliver routes an injection to the engine owning the target instance.
+func (h *homeCoordinator) deliver(inj coord.Injection) {
+	ownerIdx := h.sys.ownerOf(inj.Target)
+	if ownerIdx == h.idx {
+		h.homeEngine().InjectEvent(inj.Target.Workflow, inj.Target.ID, inj.Event)
+		return
+	}
+	h.sys.send(h.homeEngine().Name(), h.sys.engines[ownerIdx].Name(), kindCoordInject,
+		coordInject{Target: inj.Target, Event: inj.Event})
+}
+
+func (h *homeCoordinator) check(ref model.StepRef, inst coord.InstanceRef, replyEngine string) {
+	h.load(1)
+	waits := h.tracker.OrderWait(ref, inst)
+	grants, mutexWaits := h.tracker.MutexAcquire(ref, inst)
+	waits = append(waits, mutexWaits...)
+	for _, g := range grants {
+		h.deliver(g)
+	}
+	if replyEngine == h.homeEngine().Name() {
+		h.homeEngine().ResolveCoord(inst.Workflow, inst.ID, ref.Step, waits)
+		return
+	}
+	h.sys.send(h.homeEngine().Name(), replyEngine, kindCoordResolve,
+		coordResolve{Inst: inst, Step: ref.Step, WaitEvents: waits})
+}
+
+func (h *homeCoordinator) stepDone(ref model.StepRef, inst coord.InstanceRef) {
+	h.load(1)
+	for _, inj := range h.tracker.OrderStepDone(ref, inst) {
+		h.deliver(inj)
+	}
+	for _, inj := range h.tracker.MutexRelease(ref, inst) {
+		h.deliver(inj)
+	}
+}
+
+func (h *homeCoordinator) stepFailed(ref model.StepRef, inst coord.InstanceRef) {
+	h.load(1)
+	for _, inj := range h.tracker.MutexRelease(ref, inst) {
+		h.deliver(inj)
+	}
+}
+
+func (h *homeCoordinator) rollback(workflow string, invalidated []model.StepID) {
+	h.load(1)
+	orders := h.tracker.RollbackTriggered(workflow, invalidated)
+	if len(orders) == 0 {
+		return
+	}
+	// Every engine may own instances of the dependent class: broadcast.
+	for _, ord := range orders {
+		for i, eng := range h.sys.engines {
+			if i == h.idx {
+				eng.ApplyRollbackOrder(ord)
+				continue
+			}
+			h.sys.send(h.homeEngine().Name(), eng.Name(), kindCoordOrder, coordOrder{Order: ord})
+		}
+	}
+}
+
+func (h *homeCoordinator) forget(inst coord.InstanceRef) {
+	h.load(1)
+	for _, inj := range h.tracker.OrderForget(inst) {
+		h.deliver(inj)
+	}
+	for _, inj := range h.tracker.MutexForget(inst) {
+		h.deliver(inj)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Remote coordinator: what each engine talks to. On the home engine the
+// calls go straight to the home coordinator (same goroutine); elsewhere they
+// become physical messages.
+
+type remoteCoordinator struct {
+	sys *System
+	idx int
+}
+
+var _ central.Coordinator = (*remoteCoordinator)(nil)
+
+func (r *remoteCoordinator) local() bool { return r.idx == r.sys.home.idx }
+
+func (r *remoteCoordinator) name() string { return r.sys.engines[r.idx].Name() }
+
+func (r *remoteCoordinator) homeName() string { return r.sys.engines[r.sys.home.idx].Name() }
+
+// Check implements central.Coordinator.
+func (r *remoteCoordinator) Check(ref model.StepRef, inst coord.InstanceRef) {
+	if r.local() {
+		r.sys.home.check(ref, inst, r.name())
+		return
+	}
+	r.sys.send(r.name(), r.homeName(), kindCoordCheck,
+		coordCheck{Ref: ref, Inst: inst, ReplyEngine: r.name()})
+}
+
+// StepDone implements central.Coordinator.
+func (r *remoteCoordinator) StepDone(ref model.StepRef, inst coord.InstanceRef) {
+	if r.local() {
+		r.sys.home.stepDone(ref, inst)
+		return
+	}
+	r.sys.send(r.name(), r.homeName(), kindCoordDone, coordDone{Ref: ref, Inst: inst})
+}
+
+// StepFailed implements central.Coordinator.
+func (r *remoteCoordinator) StepFailed(ref model.StepRef, inst coord.InstanceRef) {
+	if r.local() {
+		r.sys.home.stepFailed(ref, inst)
+		return
+	}
+	r.sys.send(r.name(), r.homeName(), kindCoordFailed, coordFailed{Ref: ref, Inst: inst})
+}
+
+// Rollback implements central.Coordinator.
+func (r *remoteCoordinator) Rollback(workflow string, invalidated []model.StepID) {
+	if r.local() {
+		r.sys.home.rollback(workflow, invalidated)
+		return
+	}
+	r.sys.send(r.name(), r.homeName(), kindCoordRollbk,
+		coordRollback{Workflow: workflow, Invalidated: invalidated})
+}
+
+// Forget implements central.Coordinator.
+func (r *remoteCoordinator) Forget(inst coord.InstanceRef) {
+	if r.local() {
+		r.sys.home.forget(inst)
+		return
+	}
+	r.sys.send(r.name(), r.homeName(), kindCoordForget, coordForget{Inst: inst})
+}

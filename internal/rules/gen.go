@@ -1,0 +1,157 @@
+package rules
+
+import (
+	"fmt"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/model"
+)
+
+// ExecRuleID names the i-th execution rule of a step. Steps with JoinAll
+// semantics have a single rule (i=0); JoinAny confluence steps have one rule
+// per incoming branch.
+func ExecRuleID(step model.StepID, i int) string {
+	if i == 0 {
+		return "exec:" + string(step)
+	}
+	return fmt.Sprintf("exec:%s#%d", step, i)
+}
+
+// IsExecRuleFor reports whether a rule ID is an execution rule of the step.
+func IsExecRuleFor(id string, step model.StepID) bool {
+	prefix := "exec:" + string(step)
+	if id == prefix {
+		return true
+	}
+	return len(id) > len(prefix) && id[:len(prefix)] == prefix && id[len(prefix)] == '#'
+}
+
+// StepRules generates the execution rules for one step of a schema, per the
+// paper's navigation semantics:
+//
+//   - start steps (no incoming control arc) are triggered by workflow.start;
+//   - a step on a sequential path requires the step.done event of its
+//     predecessor, plus step.done of any step it takes input data from;
+//   - an if-then-else successor additionally requires the branch condition
+//     (the arc condition becomes the rule's precondition);
+//   - a JoinAll confluence step requires step.done of the last step of every
+//     incoming branch (one conjunctive rule);
+//   - a JoinAny confluence step fires when any one incoming branch completes
+//     (one rule per branch).
+//
+// Loop back-arcs generate no rules: loop re-entry is driven by the
+// navigation layer, which invalidates body events and re-dispatches the head.
+func StepRules(s *model.Schema, id model.StepID) []*Rule {
+	st := s.Steps[id]
+	if st == nil {
+		return nil
+	}
+	preds := s.ControlPredecessors(id)
+
+	// Data-dependency events: done events of producer steps that are not
+	// already control predecessors covered below.
+	dataEvents := func(exclude map[model.StepID]bool) []string {
+		var out []string
+		for _, src := range s.DataSourceSteps(id) {
+			if !exclude[src] {
+				out = append(out, event.DoneName(string(src)))
+			}
+		}
+		return out
+	}
+
+	if len(preds) == 0 {
+		excl := map[model.StepID]bool{}
+		events := append([]string{event.WorkflowStartName}, dataEvents(excl)...)
+		return []*Rule{{
+			ID:     ExecRuleID(id, 0),
+			Events: events,
+			Action: Action{Kind: ActExecute, Step: id},
+		}}
+	}
+
+	// Collect incoming arcs with their conditions.
+	type incoming struct {
+		from model.StepID
+		cond string
+	}
+	var ins []incoming
+	for _, a := range s.Arcs {
+		if a.Kind == model.Control && !a.Loop && a.To == id {
+			ins = append(ins, incoming{from: a.From, cond: a.Cond})
+		}
+	}
+
+	if len(ins) == 1 || st.Join == model.JoinAll {
+		// Single conjunctive rule.
+		excl := make(map[model.StepID]bool, len(ins))
+		var events []string
+		var conds []string
+		for _, in := range ins {
+			excl[in.from] = true
+			events = append(events, event.DoneName(string(in.from)))
+			if in.cond != "" {
+				conds = append(conds, in.cond)
+			}
+		}
+		condSrc := ""
+		switch len(conds) {
+		case 0:
+		case 1:
+			condSrc = conds[0]
+		default:
+			for i, c := range conds {
+				if i > 0 {
+					condSrc += " && "
+				}
+				condSrc += "(" + c + ")"
+			}
+		}
+		events = append(events, dataEvents(excl)...)
+		r := &Rule{
+			ID:     ExecRuleID(id, 0),
+			Events: events,
+			Action: Action{Kind: ActExecute, Step: id},
+		}
+		if condSrc != "" {
+			r.Precond = expr.MustCompile(condSrc)
+		}
+		return []*Rule{r}
+	}
+
+	// JoinAny: one rule per incoming branch.
+	var out []*Rule
+	for i, in := range ins {
+		excl := map[model.StepID]bool{in.from: true}
+		events := append([]string{event.DoneName(string(in.from))}, dataEvents(excl)...)
+		r := &Rule{
+			ID:     ExecRuleID(id, i),
+			Events: events,
+			Action: Action{Kind: ActExecute, Step: id},
+		}
+		if in.cond != "" {
+			r.Precond = expr.MustCompile(in.cond)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SchemaRules generates the execution rules for every step of the schema, in
+// definition order. This is the compiled general-rule table instantiated for
+// each new workflow instance.
+func SchemaRules(s *model.Schema) []*Rule {
+	var out []*Rule
+	for _, id := range s.Order {
+		out = append(out, StepRules(s, id)...)
+	}
+	return out
+}
+
+// InstallSchemaRules adds all schema rules to an engine.
+func InstallSchemaRules(e *Engine, s *model.Schema) {
+	for _, r := range SchemaRules(s) {
+		e.AddRule(r)
+	}
+}

@@ -1,0 +1,296 @@
+// Package rules implements the rule-based run-time system that enacts
+// workflows: event-condition-action rules, the general-rule and pending-rule
+// tables, and the three implementation-level primitives the paper builds all
+// coordinated-execution support on — AddRule(), AddEvent() and
+// AddPrecondition() — which dynamically modify the rule sets of workflow
+// instances.
+//
+// A rule fires when every event it requires is valid in the instance's event
+// table and its precondition evaluates to true against the instance's data
+// table. Fired rules are remembered by the multiset of required-event counts
+// at fire time, so a rule fires again only after one of its events has been
+// re-posted (which is what happens when a rollback invalidates events and
+// re-execution posts them anew).
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/model"
+)
+
+// ActionKind classifies what a fired rule triggers.
+type ActionKind int
+
+const (
+	// ActExecute schedules a step for execution.
+	ActExecute ActionKind = iota
+	// ActCompensate schedules a step's compensation.
+	ActCompensate
+	// ActAbort aborts the workflow instance.
+	ActAbort
+	// ActNotify runs a custom callback; coordination rules injected via
+	// AddRule use it to notify agents of other workflow instances.
+	ActNotify
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActExecute:
+		return "execute"
+	case ActCompensate:
+		return "compensate"
+	case ActAbort:
+		return "abort"
+	case ActNotify:
+		return "notify"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is the A of an ECA rule.
+type Action struct {
+	Kind ActionKind
+	Step model.StepID
+	// Fn runs for ActNotify actions. Coordination rules are regenerated on
+	// recovery, so holding a closure here is safe.
+	Fn func()
+}
+
+// Rule is an event-condition-action rule instance.
+type Rule struct {
+	// ID is unique within one instance's rule set.
+	ID string
+	// Events lists event names that must all be valid for the rule to fire.
+	Events []string
+	// Precond must evaluate true (against the data table) for the rule to
+	// fire; nil means unconditional.
+	Precond *expr.Expr
+	// Action is what firing triggers.
+	Action Action
+
+	// firedMark is the sum of required-event counts at the last firing;
+	// -1 if never fired.
+	firedMark int
+}
+
+// clone returns a shallow copy with firing state reset.
+func (r *Rule) clone() *Rule {
+	c := *r
+	c.Events = append([]string(nil), r.Events...)
+	c.firedMark = -1
+	return &c
+}
+
+// Engine is the per-instance rule engine holding the general-rule table.
+// Rules that have been considered but are not yet satisfiable simply remain
+// unfired — the pending-rule table of the paper is the subset of rules with
+// missing events, exposed via Waiting.
+type Engine struct {
+	rules []*Rule
+	byID  map[string]*Rule
+}
+
+// NewEngine returns an empty rule engine.
+func NewEngine() *Engine {
+	return &Engine{byID: make(map[string]*Rule)}
+}
+
+// AddRule is the AddRule() primitive: it installs a rule into the instance's
+// rule set. Adding an ID that already exists replaces the old rule (the rule
+// set is "dynamically modified").
+func (e *Engine) AddRule(r *Rule) {
+	nr := r.clone()
+	if old, ok := e.byID[nr.ID]; ok {
+		for i, existing := range e.rules {
+			if existing == old {
+				e.rules[i] = nr
+				break
+			}
+		}
+	} else {
+		e.rules = append(e.rules, nr)
+	}
+	e.byID[nr.ID] = nr
+}
+
+// RemoveRule discards a rule; it reports whether the rule existed.
+func (e *Engine) RemoveRule(id string) bool {
+	r, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, id)
+	for i, existing := range e.rules {
+		if existing == r {
+			e.rules = append(e.rules[:i], e.rules[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Rule returns the rule with the given ID, or nil.
+func (e *Engine) Rule(id string) *Rule { return e.byID[id] }
+
+// Rules returns the rule set in insertion order.
+func (e *Engine) Rules() []*Rule { return append([]*Rule(nil), e.rules...) }
+
+// AddPrecondition is the AddPrecondition() primitive: it strengthens an
+// existing rule with additional required events and/or an additional
+// conjunct. The rule re-arms so the strengthened form is evaluated afresh.
+func (e *Engine) AddPrecondition(ruleID string, extraEvents []string, extraCond *expr.Expr) error {
+	r, ok := e.byID[ruleID]
+	if !ok {
+		return fmt.Errorf("rules: AddPrecondition: no rule %q", ruleID)
+	}
+	for _, ev := range extraEvents {
+		found := false
+		for _, have := range r.Events {
+			if have == ev {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.Events = append(r.Events, ev)
+		}
+	}
+	if extraCond != nil {
+		if r.Precond == nil {
+			r.Precond = extraCond
+		} else {
+			combined, err := expr.Compile("(" + r.Precond.Source() + ") && (" + extraCond.Source() + ")")
+			if err != nil {
+				return fmt.Errorf("rules: AddPrecondition: %w", err)
+			}
+			r.Precond = combined
+		}
+	}
+	r.firedMark = -1
+	return nil
+}
+
+// AddEvent is the AddEvent() primitive: it posts an (external) event into the
+// instance's event table. It returns whether the table changed. The caller
+// follows up with Evaluate to fire newly satisfied rules.
+func (e *Engine) AddEvent(tab *event.Table, name string) bool {
+	return tab.Post(name)
+}
+
+// Rearm clears a rule's firing memory so it may fire again on the current
+// event-table state; the navigation layer re-arms rules of steps whose
+// events it invalidates (loop bodies, rollback regions).
+func (e *Engine) Rearm(id string) {
+	if r, ok := e.byID[id]; ok {
+		r.firedMark = -1
+	}
+}
+
+// RearmWhere re-arms every rule whose ID satisfies pred.
+func (e *Engine) RearmWhere(pred func(id string) bool) int {
+	n := 0
+	for _, r := range e.rules {
+		if pred(r.ID) {
+			r.firedMark = -1
+			n++
+		}
+	}
+	return n
+}
+
+func mark(tab *event.Table, events []string) int {
+	m := 0
+	for _, ev := range events {
+		m += tab.Count(ev)
+	}
+	return m
+}
+
+// satisfied reports whether all of the rule's events are valid.
+func satisfied(tab *event.Table, r *Rule) bool {
+	for _, ev := range r.Events {
+		if !tab.Has(ev) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate considers every rule against the event table and data environment
+// and returns the rules that fire, in insertion order. Each returned rule's
+// action has already been marked fired; ActNotify callbacks are NOT invoked
+// here — the caller runs them (so it can count load and messages first).
+//
+// The returned error carries the first precondition evaluation failure, but
+// evaluation continues past failing rules (a bad condition on one rule must
+// not wedge the instance).
+func (e *Engine) Evaluate(tab *event.Table, env expr.Env) ([]*Rule, error) {
+	var fired []*Rule
+	var firstErr error
+	for _, r := range e.rules {
+		if !satisfied(tab, r) {
+			continue
+		}
+		m := mark(tab, r.Events)
+		if r.firedMark == m && r.firedMark != -1 {
+			continue // already fired for this satisfaction epoch
+		}
+		if len(r.Events) == 0 && r.firedMark != -1 {
+			continue // eventless rules fire at most once
+		}
+		if r.Precond != nil {
+			ok, err := r.Precond.EvalBool(env)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rules: rule %s precondition: %w", r.ID, err)
+				}
+				continue
+			}
+			if !ok {
+				continue
+			}
+		}
+		r.firedMark = m
+		if len(r.Events) == 0 {
+			r.firedMark = 0
+		}
+		fired = append(fired, r)
+	}
+	return fired, firstErr
+}
+
+// Waiting describes a pending rule: satisfiable in principle but missing
+// events. The distributed agent's predecessor-failure detector polls
+// StepStatus for rules that wait on exactly one event for too long.
+type Waiting struct {
+	Rule    *Rule
+	Missing []string
+}
+
+// WaitingRules returns the rules with at least one missing event, along with
+// the missing names (sorted), in insertion order.
+func (e *Engine) WaitingRules(tab *event.Table) []Waiting {
+	var out []Waiting
+	for _, r := range e.rules {
+		var missing []string
+		for _, ev := range r.Events {
+			if !tab.Has(ev) {
+				missing = append(missing, ev)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			out = append(out, Waiting{Rule: r, Missing: missing})
+		}
+	}
+	return out
+}
+
+// FiredOnce reports whether the rule has fired at least once.
+func (r *Rule) FiredOnce() bool { return r.firedMark != -1 }

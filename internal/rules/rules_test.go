@@ -1,0 +1,297 @@
+package rules
+
+import (
+	"testing"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/model"
+)
+
+func execRule(id string, events ...string) *Rule {
+	return &Rule{ID: id, Events: events, Action: Action{Kind: ActExecute, Step: model.StepID(id)}}
+}
+
+func fire(t *testing.T, e *Engine, tab *event.Table, env expr.Env) []string {
+	t.Helper()
+	fired, err := e.Evaluate(tab, env)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	ids := make([]string, len(fired))
+	for i, r := range fired {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+func TestActionKindString(t *testing.T) {
+	for k, want := range map[ActionKind]string{
+		ActExecute: "execute", ActCompensate: "compensate",
+		ActAbort: "abort", ActNotify: "notify", ActionKind(9): "ActionKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("ActionKind(%d) = %q, want %q", int(k), k, want)
+		}
+	}
+}
+
+func TestBasicFiring(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("r1", "a.done"))
+	tab := event.NewTable()
+
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Errorf("fired without events: %v", ids)
+	}
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 || ids[0] != "r1" {
+		t.Errorf("fired = %v, want [r1]", ids)
+	}
+	// Same satisfaction epoch: no refire.
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Errorf("refired in same epoch: %v", ids)
+	}
+	if !e.Rule("r1").FiredOnce() {
+		t.Error("FiredOnce = false")
+	}
+}
+
+func TestConjunctiveEvents(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("join", "a.done", "b.done"))
+	tab := event.NewTable()
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Errorf("fired with partial events: %v", ids)
+	}
+	tab.Post("b.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Errorf("join did not fire: %v", ids)
+	}
+}
+
+func TestPreconditionGating(t *testing.T) {
+	e := NewEngine()
+	r := execRule("cond", "a.done")
+	r.Precond = expr.MustCompile("X > 5")
+	e.AddRule(r)
+	tab := event.NewTable()
+	tab.Post("a.done")
+	env := expr.MapEnv{"X": expr.Num(3)}
+	if ids := fire(t, e, tab, env); len(ids) != 0 {
+		t.Errorf("fired with false precondition: %v", ids)
+	}
+	// Condition later becomes true (data changed): rule is still eligible.
+	env["X"] = expr.Num(7)
+	if ids := fire(t, e, tab, env); len(ids) != 1 {
+		t.Errorf("did not fire once precondition true: %v", ids)
+	}
+}
+
+func TestPreconditionErrorDoesNotWedge(t *testing.T) {
+	e := NewEngine()
+	bad := execRule("bad", "a.done")
+	bad.Precond = expr.MustCompile(`"s" < 1`)
+	good := execRule("good", "a.done")
+	e.AddRule(bad)
+	e.AddRule(good)
+	tab := event.NewTable()
+	tab.Post("a.done")
+	fired, err := e.Evaluate(tab, nil)
+	if err == nil {
+		t.Error("expected precondition error")
+	}
+	if len(fired) != 1 || fired[0].ID != "good" {
+		t.Errorf("good rule should fire despite bad one: %v", fired)
+	}
+}
+
+func TestInvalidationAndRefire(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("r", "a.done"))
+	tab := event.NewTable()
+	tab.Post("a.done")
+	fire(t, e, tab, nil)
+
+	// Rollback invalidates the event; rule must not fire.
+	tab.Invalidate("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Errorf("fired on invalidated event: %v", ids)
+	}
+	// Re-execution re-posts; count changed, so the rule fires again.
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Errorf("did not refire after re-post: %v", ids)
+	}
+}
+
+func TestRearm(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("r", "a.done"))
+	tab := event.NewTable()
+	tab.Post("a.done")
+	fire(t, e, tab, nil)
+	e.Rearm("r")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Errorf("Rearm did not allow refire: %v", ids)
+	}
+	e.Rearm("missing") // no-op
+	n := e.RearmWhere(func(id string) bool { return id == "r" })
+	if n != 1 {
+		t.Errorf("RearmWhere = %d", n)
+	}
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Errorf("RearmWhere did not allow refire: %v", ids)
+	}
+}
+
+func TestEventlessRuleFiresOnce(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(&Rule{ID: "now", Action: Action{Kind: ActNotify}})
+	tab := event.NewTable()
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Errorf("eventless rule did not fire: %v", ids)
+	}
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Errorf("eventless rule refired: %v", ids)
+	}
+}
+
+func TestAddRuleReplaceAndRemove(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("r", "a.done"))
+	e.AddRule(execRule("r", "b.done")) // replace
+	if len(e.Rules()) != 1 {
+		t.Fatalf("replace duplicated rule: %d", len(e.Rules()))
+	}
+	tab := event.NewTable()
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 0 {
+		t.Error("old rule fired after replacement")
+	}
+	tab.Post("b.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Error("replacement rule did not fire")
+	}
+	if !e.RemoveRule("r") || e.RemoveRule("r") {
+		t.Error("RemoveRule semantics wrong")
+	}
+	if e.Rule("r") != nil || len(e.Rules()) != 0 {
+		t.Error("rule not removed")
+	}
+}
+
+func TestAddRuleDoesNotAliasCaller(t *testing.T) {
+	e := NewEngine()
+	src := execRule("r", "a.done")
+	e.AddRule(src)
+	src.Events[0] = "mutated"
+	tab := event.NewTable()
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, nil); len(ids) != 1 {
+		t.Error("engine rule affected by caller mutation")
+	}
+}
+
+func TestAddPrecondition(t *testing.T) {
+	e := NewEngine()
+	r := execRule("r", "a.done")
+	r.Precond = expr.MustCompile("X > 0")
+	e.AddRule(r)
+
+	if err := e.AddPrecondition("r", []string{"ext:WF2.1:S3.done"}, expr.MustCompile("Y > 0")); err != nil {
+		t.Fatal(err)
+	}
+	tab := event.NewTable()
+	tab.Post("a.done")
+	env := expr.MapEnv{"X": expr.Num(1), "Y": expr.Num(1)}
+	if ids := fire(t, e, tab, env); len(ids) != 0 {
+		t.Error("fired without added event requirement")
+	}
+	tab.Post("ext:WF2.1:S3.done")
+	env["Y"] = expr.Num(0)
+	if ids := fire(t, e, tab, env); len(ids) != 0 {
+		t.Error("fired with false added conjunct")
+	}
+	env["Y"] = expr.Num(2)
+	if ids := fire(t, e, tab, env); len(ids) != 1 {
+		t.Error("did not fire once strengthened rule satisfied")
+	}
+
+	// Duplicate event names are not added twice.
+	if err := e.AddPrecondition("r", []string{"a.done"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Rule("r").Events); got != 2 {
+		t.Errorf("duplicate event appended: %d events", got)
+	}
+	if err := e.AddPrecondition("missing", nil, nil); err == nil {
+		t.Error("AddPrecondition on missing rule should error")
+	}
+}
+
+func TestAddPreconditionOnUnconditionedRule(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("r", "a.done"))
+	if err := e.AddPrecondition("r", nil, expr.MustCompile("Z == 1")); err != nil {
+		t.Fatal(err)
+	}
+	tab := event.NewTable()
+	tab.Post("a.done")
+	if ids := fire(t, e, tab, expr.MapEnv{"Z": expr.Num(0)}); len(ids) != 0 {
+		t.Error("fired with false precondition")
+	}
+	if ids := fire(t, e, tab, expr.MapEnv{"Z": expr.Num(1)}); len(ids) != 1 {
+		t.Error("did not fire with true precondition")
+	}
+}
+
+func TestAddEventPrimitive(t *testing.T) {
+	e := NewEngine()
+	tab := event.NewTable()
+	if !e.AddEvent(tab, "ext:WF1.1:S2.done") {
+		t.Error("AddEvent should report change")
+	}
+	if e.AddEvent(tab, "ext:WF1.1:S2.done") {
+		t.Error("duplicate AddEvent should not report change")
+	}
+	if !tab.Has("ext:WF1.1:S2.done") {
+		t.Error("event not posted")
+	}
+}
+
+func TestWaitingRules(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("one", "a.done", "b.done"))
+	e.AddRule(execRule("two", "c.done"))
+	tab := event.NewTable()
+	tab.Post("a.done")
+	w := e.WaitingRules(tab)
+	if len(w) != 2 {
+		t.Fatalf("WaitingRules = %d entries", len(w))
+	}
+	if w[0].Rule.ID != "one" || len(w[0].Missing) != 1 || w[0].Missing[0] != "b.done" {
+		t.Errorf("Waiting[0] = %+v", w[0])
+	}
+	if w[1].Rule.ID != "two" || w[1].Missing[0] != "c.done" {
+		t.Errorf("Waiting[1] = %+v", w[1])
+	}
+	tab.Post("b.done")
+	tab.Post("c.done")
+	if w := e.WaitingRules(tab); len(w) != 0 {
+		t.Errorf("no rules should wait: %+v", w)
+	}
+}
+
+func TestFiringOrderIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	e.AddRule(execRule("z", "a.done"))
+	e.AddRule(execRule("a", "a.done"))
+	tab := event.NewTable()
+	tab.Post("a.done")
+	ids := fire(t, e, tab, nil)
+	if len(ids) != 2 || ids[0] != "z" || ids[1] != "a" {
+		t.Errorf("fired order = %v, want [z a]", ids)
+	}
+}

@@ -1,0 +1,324 @@
+// Package store implements the small embedded database underlying the
+// workflow database (WFDB) of the centralized architecture and the per-agent
+// databases (AGDB) of the distributed architecture.
+//
+// It is a write-ahead log of table mutations with an in-memory view:
+// every Put/Delete is appended to the log (checksummed and length-framed)
+// before the in-memory tables are updated, so a reopened store recovers to
+// exactly the state whose records were durably appended — the forward
+// recovery the paper relies on for engine and agent failures. A torn tail
+// record (partial write at crash) is detected by checksum and truncated.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// record is one logged mutation.
+type record struct {
+	Table  string `json:"t"`
+	Key    string `json:"k"`
+	Value  []byte `json:"v,omitempty"`
+	Delete bool   `json:"d,omitempty"`
+}
+
+// Store is a table/key/value store with WAL durability. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	path   string   // empty for memory-only stores
+	f      *os.File // nil for memory-only stores
+	tables map[string]map[string][]byte
+	writes int64
+}
+
+// OpenMemory returns a store without a backing file; Put/Delete apply only to
+// the in-memory view. Used by experiments where durability is irrelevant to
+// the measured quantities.
+func OpenMemory() *Store {
+	return &Store{tables: make(map[string]map[string][]byte)}
+}
+
+// Open opens (creating if needed) a file-backed store and replays its log.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, tables: make(map[string]map[string][]byte)}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	valid, err := s.replay(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail so appends continue from the last valid record.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// replay reads records from f until EOF or corruption, applying them to the
+// in-memory view, and returns the offset of the last valid record end.
+func (s *Store) replay(f *os.File) (validEnd int64, err error) {
+	var off int64
+	var hdr [8]byte // 4-byte length + 4-byte CRC32
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<28 {
+			return off, nil // implausible length: treat as torn
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return off, nil
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return off, nil
+		}
+		var rec record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return off, nil
+		}
+		s.apply(rec)
+		off += int64(8 + int(n))
+		s.writes++
+	}
+}
+
+func (s *Store) apply(rec record) {
+	tbl := s.tables[rec.Table]
+	if tbl == nil {
+		tbl = make(map[string][]byte)
+		s.tables[rec.Table] = tbl
+	}
+	if rec.Delete {
+		delete(tbl, rec.Key)
+	} else {
+		tbl[rec.Key] = rec.Value
+	}
+}
+
+func (s *Store) append(rec record) error {
+	if s.f == nil {
+		return nil
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(buf)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(buf))
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: write record: %w", err)
+	}
+	return nil
+}
+
+// ErrClosed is returned by mutations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Put writes value under table/key. The value is copied.
+func (s *Store) Put(table, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables == nil {
+		return ErrClosed
+	}
+	v := append([]byte(nil), value...)
+	if err := s.append(record{Table: table, Key: key, Value: v}); err != nil {
+		return err
+	}
+	s.apply(record{Table: table, Key: key, Value: v})
+	s.writes++
+	return nil
+}
+
+// PutJSON marshals v and stores it.
+func (s *Store) PutJSON(table, key string, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encode %s/%s: %w", table, key, err)
+	}
+	return s.Put(table, key, buf)
+}
+
+// Delete removes table/key; deleting an absent key is a no-op that is still
+// logged (so replay remains deterministic).
+func (s *Store) Delete(table, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables == nil {
+		return ErrClosed
+	}
+	if err := s.append(record{Table: table, Key: key, Delete: true}); err != nil {
+		return err
+	}
+	s.apply(record{Table: table, Key: key, Delete: true})
+	s.writes++
+	return nil
+}
+
+// Get returns a copy of the value at table/key.
+func (s *Store) Get(table, key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tbl := s.tables[table]
+	if tbl == nil {
+		return nil, false
+	}
+	v, ok := tbl[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// GetJSON unmarshals the value at table/key into out.
+func (s *Store) GetJSON(table, key string, out any) (bool, error) {
+	v, ok := s.Get(table, key)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(v, out); err != nil {
+		return true, fmt.Errorf("store: decode %s/%s: %w", table, key, err)
+	}
+	return true, nil
+}
+
+// Keys returns the sorted keys of a table.
+func (s *Store) Keys(table string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tbl := s.tables[table]
+	keys := make([]string, 0, len(tbl))
+	for k := range tbl {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scan calls fn for each key/value of a table in sorted key order, stopping
+// early if fn returns false.
+func (s *Store) Scan(table string, fn func(key string, value []byte) bool) {
+	for _, k := range s.Keys(table) {
+		v, ok := s.Get(table, k)
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live keys in a table.
+func (s *Store) Len(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// Writes returns the number of logged mutations (including replayed ones),
+// a cheap proxy for persistence I/O in experiments.
+func (s *Store) Writes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.writes
+}
+
+// Compact rewrites the log as a minimal snapshot of the live state. File-
+// backed stores only; a no-op for memory stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	tmp := s.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old := s.f
+	s.f = f
+	tables := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		keys := make([]string, 0, len(s.tables[t]))
+		for k := range s.tables[t] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := s.append(record{Table: t, Key: k, Value: s.tables[t][k]}); err != nil {
+				s.f = old
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		s.f = old
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		s.f = old
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	old.Close()
+	return nil
+}
+
+// Sync flushes the backing file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close releases the backing file. Further mutations fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables = nil
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := OpenMemory()
+	if _, ok := s.Get("t", "k"); ok {
+		t.Error("Get on empty store succeeded")
+	}
+	if err := s.Put("t", "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("t", "k")
+	if !ok || string(v) != "v1" {
+		t.Errorf("Get = (%q, %v)", v, ok)
+	}
+	if err := s.Put("t", "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("t", "k"); string(v) != "v2" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+	if err := s.Delete("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", "k"); ok {
+		t.Error("Get after Delete succeeded")
+	}
+	// Deleting an absent key is fine.
+	if err := s.Delete("t", "absent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := OpenMemory()
+	s.Put("t", "k", []byte("abc"))
+	v, _ := s.Get("t", "k")
+	v[0] = 'X'
+	v2, _ := s.Get("t", "k")
+	if string(v2) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+	// Put must copy too.
+	buf := []byte("mno")
+	s.Put("t", "k2", buf)
+	buf[0] = 'X'
+	v3, _ := s.Get("t", "k2")
+	if string(v3) != "mno" {
+		t.Error("Put aliased caller buffer")
+	}
+}
+
+func TestKeysScanLen(t *testing.T) {
+	s := OpenMemory()
+	for _, k := range []string{"b", "a", "c"} {
+		s.Put("t", k, []byte(k))
+	}
+	keys := s.Keys("t")
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if s.Len("t") != 3 || s.Len("other") != 0 {
+		t.Error("Len wrong")
+	}
+	var seen []string
+	s.Scan("t", func(k string, v []byte) bool {
+		seen = append(seen, k)
+		return k != "b" // stop after b
+	})
+	if len(seen) != 2 || seen[1] != "b" {
+		t.Errorf("Scan early-stop = %v", seen)
+	}
+	s.Scan("missing", func(string, []byte) bool {
+		t.Error("Scan of missing table called fn")
+		return true
+	})
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := OpenMemory()
+	type rec struct {
+		A int
+		B string
+	}
+	if err := s.PutJSON("t", "k", rec{A: 7, B: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	ok, err := s.GetJSON("t", "k", &out)
+	if err != nil || !ok || out.A != 7 || out.B != "x" {
+		t.Errorf("GetJSON = (%v, %v, %+v)", ok, err, out)
+	}
+	ok, err = s.GetJSON("t", "missing", &out)
+	if ok || err != nil {
+		t.Errorf("GetJSON missing = (%v, %v)", ok, err)
+	}
+	s.Put("t", "bad", []byte("{not json"))
+	ok, err = s.GetJSON("t", "bad", &out)
+	if !ok || err == nil {
+		t.Error("GetJSON should report decode error")
+	}
+	if err := s.PutJSON("t", "ch", make(chan int)); err == nil {
+		t.Error("PutJSON of unmarshalable value should fail")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("inst", "WF1.1", []byte("state1"))
+	s.Put("inst", "WF1.2", []byte("state2"))
+	s.Delete("inst", "WF1.1")
+	s.Put("class", "WF1", []byte("schema"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Get("inst", "WF1.1"); ok {
+		t.Error("deleted key resurrected after reopen")
+	}
+	if v, ok := r.Get("inst", "WF1.2"); !ok || string(v) != "state2" {
+		t.Errorf("lost key after reopen: (%q, %v)", v, ok)
+	}
+	if v, ok := r.Get("class", "WF1"); !ok || string(v) != "schema" {
+		t.Error("lost class table after reopen")
+	}
+	// Appends after reopen persist too.
+	r.Put("inst", "WF1.3", []byte("state3"))
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Get("inst", "WF1.3"); !ok {
+		t.Error("append after reopen lost")
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("t", "good", []byte("v"))
+	s.Close()
+
+	// Simulate a crash mid-append: garbage tail bytes.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 1, 2, 3}) // claims 9 bytes, provides 3 garbage
+	f.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer r.Close()
+	if _, ok := r.Get("t", "good"); !ok {
+		t.Error("valid prefix lost")
+	}
+	// Store remains usable and durable after truncation.
+	r.Put("t", "more", []byte("x"))
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Get("t", "more"); !ok {
+		t.Error("write after truncation lost")
+	}
+}
+
+func TestCorruptChecksumStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.db")
+	s, _ := Open(path)
+	s.Put("t", "k1", []byte("v1"))
+	s.Put("t", "k2", []byte("v2"))
+	s.Close()
+
+	// Flip one byte in the middle of the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Get("t", "k1"); !ok {
+		t.Error("first record should survive")
+	}
+	if _, ok := r.Get("t", "k2"); ok {
+		t.Error("corrupt record should be dropped")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 50; i++ {
+		s.Put("t", "k", []byte{byte(i)})
+	}
+	s.Put("t", "other", []byte("keep"))
+	s.Delete("t", "other")
+	s.Put("t", "other", []byte("final"))
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("Compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	// State preserved, and still durable.
+	if v, ok := s.Get("t", "k"); !ok || v[0] != 49 {
+		t.Error("Compact lost live state")
+	}
+	s.Put("t", "post", []byte("p"))
+	s.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, ok := r.Get("t", "other"); !ok || string(v) != "final" {
+		t.Error("Compacted state wrong after reopen")
+	}
+	if _, ok := r.Get("t", "post"); !ok {
+		t.Error("post-compaction append lost")
+	}
+}
+
+func TestCompactMemoryNoop(t *testing.T) {
+	s := OpenMemory()
+	s.Put("t", "k", []byte("v"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := OpenMemory()
+	s.Close()
+	if err := s.Put("t", "k", nil); err != ErrClosed {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Delete("t", "k"); err != ErrClosed {
+		t.Errorf("Delete after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestWritesCounter(t *testing.T) {
+	s := OpenMemory()
+	s.Put("t", "a", nil)
+	s.Put("t", "b", nil)
+	s.Delete("t", "a")
+	if got := s.Writes(); got != 3 {
+		t.Errorf("Writes = %d, want 3", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := tempStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			key := string(rune('a' + id))
+			for i := 0; i < 200; i++ {
+				if err := s.Put("t", key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get("t", key); !ok {
+					t.Error("lost own write")
+					return
+				}
+				s.Keys("t")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len("t") != 4 {
+		t.Errorf("Len = %d, want 4", s.Len("t"))
+	}
+}
+
+// Property: a store reopened after any sequence of puts/deletes equals the
+// in-memory model map.
+func TestPropertyReplayMatchesModel(t *testing.T) {
+	f := func(ops []uint8, vals []uint8) bool {
+		dir, err := os.MkdirTemp("", "storeprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "wal.db")
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		modelMap := make(map[string]byte)
+		for i, op := range ops {
+			key := string(rune('a' + op%5))
+			var val byte
+			if i < len(vals) {
+				val = vals[i]
+			}
+			if op%3 == 0 {
+				s.Delete("t", key)
+				delete(modelMap, key)
+			} else {
+				s.Put("t", key, []byte{val})
+				modelMap[key] = val
+			}
+		}
+		s.Close()
+		r, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		if r.Len("t") != len(modelMap) {
+			return false
+		}
+		for k, v := range modelMap {
+			got, ok := r.Get("t", k)
+			if !ok || len(got) != 1 || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package transport simulates the reliable messaging layer between workflow
+// nodes (engines, agents, the front end). The paper assumes messages are
+// reliably delivered between agents using persistent-queue techniques
+// (Exotica/FMQM); this transport preserves those semantics in-process:
+//
+//   - delivery is reliable and FIFO per receiver;
+//   - messages to a crashed node are queued and delivered on recovery;
+//   - senders never block (each node has an unbounded mailbox drained by a
+//     pump goroutine), so protocol deadlocks cannot be introduced by the
+//     transport itself;
+//   - every physical message is counted in a metrics.Collector under its
+//     mechanism class, which is the quantity the paper's evaluation compares
+//     across architectures.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crew/internal/metrics"
+)
+
+// Message is one physical message between nodes.
+type Message struct {
+	From string
+	To   string
+	// Mechanism classifies the message for the evaluation's message counts.
+	Mechanism metrics.Mechanism
+	// Kind is a free-form label naming the workflow interface invoked
+	// (e.g. "StepExecute"); used by protocol traces and tests.
+	Kind string
+	// Payload carries the WI arguments; consumers type-switch on it.
+	Payload any
+}
+
+// Endpoint is a node's receive side.
+type Endpoint struct {
+	name string
+	ch   chan Message
+}
+
+// Name returns the node name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Inbox returns the receive channel. It is closed when the network shuts
+// down.
+func (e *Endpoint) Inbox() <-chan Message { return e.ch }
+
+type node struct {
+	ep     *Endpoint
+	mu     sync.Mutex
+	queue  []Message
+	up     bool
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func (nd *node) pump() {
+	defer close(nd.done)
+	defer close(nd.ep.ch)
+	for {
+		nd.mu.Lock()
+		var next *Message
+		if nd.up && len(nd.queue) > 0 {
+			m := nd.queue[0]
+			nd.queue = nd.queue[1:]
+			next = &m
+		}
+		nd.mu.Unlock()
+		if next == nil {
+			select {
+			case <-nd.notify:
+				continue
+			case <-nd.stop:
+				return
+			}
+		}
+		select {
+		case nd.ep.ch <- *next:
+		case <-nd.stop:
+			return
+		}
+	}
+}
+
+func (nd *node) wake() {
+	select {
+	case nd.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Network connects named nodes.
+type Network struct {
+	mu        sync.Mutex
+	nodes     map[string]*node
+	collector *metrics.Collector
+	closed    bool
+	// trace, when non-nil, receives a copy of every sent message (for
+	// protocol-trace tests and the crewsim fig4 demo).
+	trace func(Message)
+}
+
+// ErrUnknownNode is returned when sending to an unregistered node.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// New returns an empty network counting messages into collector (which may
+// be nil to disable counting).
+func New(collector *metrics.Collector) *Network {
+	return &Network{nodes: make(map[string]*node), collector: collector}
+}
+
+// Trace installs a callback invoked (synchronously, under no lock) with a
+// copy of every message accepted for delivery.
+func (n *Network) Trace(fn func(Message)) {
+	n.mu.Lock()
+	n.trace = fn
+	n.mu.Unlock()
+}
+
+// Register creates a node and returns its endpoint.
+func (n *Network) Register(name string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[name]; dup {
+		return nil, fmt.Errorf("transport: node %q already registered", name)
+	}
+	nd := &node{
+		ep:     &Endpoint{name: name, ch: make(chan Message)},
+		up:     true,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n.nodes[name] = nd
+	go nd.pump()
+	return nd.ep, nil
+}
+
+// MustRegister is Register panicking on error, for deployment code whose
+// node sets are statically correct.
+func (n *Network) MustRegister(name string) *Endpoint {
+	ep, err := n.Register(name)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// Send enqueues a message for delivery and counts it. Messages to a crashed
+// node are retained and delivered after recovery.
+func (n *Network) Send(m Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	nd, ok := n.nodes[m.To]
+	trace := n.trace
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, m.To)
+	}
+	if n.collector != nil {
+		n.collector.AddMessages(m.Mechanism, 1)
+	}
+	if trace != nil {
+		trace(m)
+	}
+	nd.mu.Lock()
+	nd.queue = append(nd.queue, m)
+	nd.mu.Unlock()
+	nd.wake()
+	return nil
+}
+
+// Alive reports whether the node is registered and up.
+func (n *Network) Alive(name string) bool {
+	n.mu.Lock()
+	nd, ok := n.nodes[name]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.up
+}
+
+// Crash marks a node down: deliveries pause and messages queue until
+// recovery. Crashing an unknown node is a no-op returning false.
+func (n *Network) Crash(name string) bool {
+	n.mu.Lock()
+	nd, ok := n.nodes[name]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nd.mu.Lock()
+	nd.up = false
+	nd.mu.Unlock()
+	return true
+}
+
+// Recover marks a node up again and resumes delivery of queued messages.
+func (n *Network) Recover(name string) bool {
+	n.mu.Lock()
+	nd, ok := n.nodes[name]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nd.mu.Lock()
+	nd.up = true
+	nd.mu.Unlock()
+	nd.wake()
+	return true
+}
+
+// QueuedFor returns how many messages wait for a (typically crashed) node.
+func (n *Network) QueuedFor(name string) int {
+	n.mu.Lock()
+	nd, ok := n.nodes[name]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return len(nd.queue)
+}
+
+// Nodes returns the sorted registered node names.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close shuts the network down: pumps stop and every endpoint's inbox is
+// closed after its pump exits. Pending undelivered messages are dropped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	n.mu.Unlock()
+	for _, nd := range nodes {
+		close(nd.stop)
+	}
+	for _, nd := range nodes {
+		<-nd.done
+	}
+}

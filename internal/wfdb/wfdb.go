@@ -1,0 +1,483 @@
+// Package wfdb implements the workflow database: the instance state a
+// workflow engine (centralized/parallel control) or an agent (distributed
+// control) maintains, and its persistence on the embedded store.
+//
+// The paper's data organization is kept: a workflow class table holds
+// definitions, a workflow instance table holds per-instance state (data
+// table, event table, step table, execution order), and a coordination
+// instance summary table at coordination agents tracks instance status for
+// the front-end database. Committed instances are archived.
+package wfdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+	"crew/internal/model"
+	"crew/internal/store"
+)
+
+// Status is the life-cycle state of a workflow instance.
+type Status int
+
+const (
+	// Running means the instance is executing (or recovering).
+	Running Status = iota
+	// Committed means every active path completed; effects are permanent.
+	Committed
+	// Aborted means the instance was aborted and compensated.
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// StepStatus is the per-step execution state within an instance.
+type StepStatus int
+
+const (
+	// StepPending means the step has not been scheduled.
+	StepPending StepStatus = iota
+	// StepExecuting means the step's program is running.
+	StepExecuting
+	// StepDone means the step completed successfully.
+	StepDone
+	// StepFailed means the last execution failed logically.
+	StepFailed
+	// StepCompensated means the step's effects were compensated.
+	StepCompensated
+)
+
+// String names the step status.
+func (s StepStatus) String() string {
+	switch s {
+	case StepPending:
+		return "pending"
+	case StepExecuting:
+		return "executing"
+	case StepDone:
+		return "done"
+	case StepFailed:
+		return "failed"
+	case StepCompensated:
+		return "compensated"
+	default:
+		return fmt.Sprintf("StepStatus(%d)", int(s))
+	}
+}
+
+// StepRecord is the step-table entry for one step of one instance.
+type StepRecord struct {
+	Status StepStatus `json:"status"`
+	// Agent names the agent that executed (or is executing) the step.
+	Agent string `json:"agent,omitempty"`
+	// Attempts counts executions (1-based after the first execution).
+	Attempts int `json:"attempts"`
+	// Inputs and Outputs capture the latest execution, supporting the OCR
+	// strategy's comparison against previous inputs and result reuse.
+	Inputs  map[string]expr.Value `json:"inputs,omitempty"`
+	Outputs map[string]expr.Value `json:"outputs,omitempty"`
+	// HasResult records that a successful execution's results are on file
+	// and not yet compensated. It survives the status reset a rollback
+	// performs, which is exactly what lets the OCR strategy reuse or
+	// incrementally rebuild the previous results on re-execution.
+	HasResult bool `json:"hasResult,omitempty"`
+}
+
+// Prev packages the record's previous execution for a program context.
+func (r *StepRecord) Prev() *model.PrevExecution {
+	if r == nil || !r.HasResult {
+		return nil
+	}
+	return &model.PrevExecution{Inputs: r.Inputs, Outputs: r.Outputs}
+}
+
+// Instance is the complete state of one workflow instance. In centralized
+// control the engine owns the whole Instance; in distributed control each
+// agent holds a partial replica assembled from workflow packets.
+type Instance struct {
+	Workflow string
+	ID       int
+	Status   Status
+	// Data is the data table: full item name -> value.
+	Data map[string]expr.Value
+	// Events is the event table.
+	Events *event.Table
+	// Steps is the step table.
+	Steps map[model.StepID]*StepRecord
+	// ExecOrder lists step completions in order (repeats possible across
+	// re-executions); compensation dependent sets use it to compensate in
+	// reverse execution order.
+	ExecOrder []model.StepID
+	// Parent links a nested workflow instance to its parent step.
+	Parent *ParentRef
+}
+
+// ParentRef identifies the parent step awaiting a nested workflow.
+type ParentRef struct {
+	Workflow string       `json:"workflow"`
+	ID       int          `json:"id"`
+	Step     model.StepID `json:"step"`
+}
+
+// NewInstance creates a running instance with the given workflow inputs
+// (keyed by short input name, e.g. "I1").
+func NewInstance(workflow string, id int, inputs map[string]expr.Value) *Instance {
+	ins := &Instance{
+		Workflow: workflow,
+		ID:       id,
+		Status:   Running,
+		Data:     make(map[string]expr.Value, len(inputs)),
+		Events:   event.NewTable(),
+		Steps:    make(map[model.StepID]*StepRecord),
+	}
+	for name, v := range inputs {
+		ins.Data[model.WorkflowInput(name)] = v
+	}
+	return ins
+}
+
+// Key returns the instance's database key.
+func (ins *Instance) Key() string { return InstanceKeyOf(ins.Workflow, ins.ID) }
+
+// InstanceKeyOf builds the canonical instance key.
+func InstanceKeyOf(workflow string, id int) string {
+	return workflow + "." + strconv.Itoa(id)
+}
+
+// ParseInstanceKey splits a canonical instance key.
+func ParseInstanceKey(key string) (workflow string, id int, err error) {
+	i := strings.LastIndexByte(key, '.')
+	if i < 0 {
+		return "", 0, fmt.Errorf("wfdb: malformed instance key %q", key)
+	}
+	id, err = strconv.Atoi(key[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("wfdb: malformed instance key %q: %w", key, err)
+	}
+	return key[:i], id, nil
+}
+
+// Env exposes the data table as an expression environment.
+func (ins *Instance) Env() expr.Env { return expr.MapEnv(ins.Data) }
+
+// StepRec returns (creating if needed) the step record for id.
+func (ins *Instance) StepRec(id model.StepID) *StepRecord {
+	r := ins.Steps[id]
+	if r == nil {
+		r = &StepRecord{}
+		ins.Steps[id] = r
+	}
+	return r
+}
+
+// SetData writes one data item.
+func (ins *Instance) SetData(name string, v expr.Value) {
+	ins.Data[name] = v
+}
+
+// MergeData copies the given items into the data table and reports how many
+// changed. Incoming workflow packets merge their data sections this way.
+func (ins *Instance) MergeData(items map[string]expr.Value) int {
+	n := 0
+	for k, v := range items {
+		if old, ok := ins.Data[k]; !ok || !old.Equal(v) {
+			ins.Data[k] = v
+			n++
+		}
+	}
+	return n
+}
+
+// RecordExecuting marks a step as dispatched to an agent.
+func (ins *Instance) RecordExecuting(id model.StepID, agent string, inputs map[string]expr.Value) {
+	r := ins.StepRec(id)
+	r.Status = StepExecuting
+	r.Agent = agent
+	r.Attempts++
+	r.Inputs = inputs
+}
+
+// RecordDone marks a step complete: stores outputs in the step record, copies
+// them into the data table under full names, appends to the execution order
+// and posts step.done.
+func (ins *Instance) RecordDone(id model.StepID, outputs map[string]expr.Value) {
+	r := ins.StepRec(id)
+	r.Status = StepDone
+	r.Outputs = outputs
+	r.HasResult = true
+	for short, v := range outputs {
+		ins.Data[id.Ref(short)] = v
+	}
+	ins.ExecOrder = append(ins.ExecOrder, id)
+	ins.Events.Post(event.DoneName(string(id)))
+}
+
+// RecordFailed marks a step failed and posts step.fail.
+func (ins *Instance) RecordFailed(id model.StepID) {
+	ins.StepRec(id).Status = StepFailed
+	ins.Events.Post(event.FailName(string(id)))
+}
+
+// RecordCompensated marks a step compensated: its done event is invalidated,
+// its outputs are removed from the data table, and step.compensated posts.
+func (ins *Instance) RecordCompensated(id model.StepID) {
+	r := ins.StepRec(id)
+	r.Status = StepCompensated
+	r.HasResult = false
+	for short := range r.Outputs {
+		delete(ins.Data, id.Ref(short))
+	}
+	ins.Events.Invalidate(event.DoneName(string(id)))
+	ins.Events.Post(event.CompensatedName(string(id)))
+}
+
+// Executed reports whether the step currently counts as executed (done and
+// not compensated since).
+func (ins *Instance) Executed(id model.StepID) bool {
+	r := ins.Steps[id]
+	return r != nil && r.Status == StepDone
+}
+
+// CompletedTerminals returns which of the given terminal steps are done.
+func (ins *Instance) CompletedTerminals(terminals []model.StepID) []model.StepID {
+	var out []model.StepID
+	for _, id := range terminals {
+		if ins.Executed(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ExecutedMembersInOrder returns the members of set that are currently
+// executed, in execution order (latest execution wins for repeats).
+func (ins *Instance) ExecutedMembersInOrder(set []model.StepID) []model.StepID {
+	return ins.membersInOrder(set, func(r *StepRecord) bool { return r.Status == StepDone })
+}
+
+// ResultMembersInOrder returns the members of set whose previous results are
+// still on file (HasResult), in execution order. A rollback resets statuses
+// to pending but keeps results, and it is these steps a compensation
+// dependent set must unwind in reverse execution order.
+func (ins *Instance) ResultMembersInOrder(set []model.StepID) []model.StepID {
+	return ins.membersInOrder(set, func(r *StepRecord) bool { return r.HasResult })
+}
+
+func (ins *Instance) membersInOrder(set []model.StepID, pred func(*StepRecord) bool) []model.StepID {
+	inSet := make(map[model.StepID]bool, len(set))
+	for _, id := range set {
+		inSet[id] = true
+	}
+	lastPos := make(map[model.StepID]int)
+	for i, id := range ins.ExecOrder {
+		if inSet[id] {
+			lastPos[id] = i
+		}
+	}
+	var out []model.StepID
+	for id := range lastPos {
+		if r := ins.Steps[id]; r != nil && pred(r) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lastPos[out[i]] < lastPos[out[j]] })
+	return out
+}
+
+// Clone deep-copies the instance.
+func (ins *Instance) Clone() *Instance {
+	c := &Instance{
+		Workflow:  ins.Workflow,
+		ID:        ins.ID,
+		Status:    ins.Status,
+		Data:      make(map[string]expr.Value, len(ins.Data)),
+		Events:    ins.Events.Clone(),
+		Steps:     make(map[model.StepID]*StepRecord, len(ins.Steps)),
+		ExecOrder: append([]model.StepID(nil), ins.ExecOrder...),
+	}
+	for k, v := range ins.Data {
+		c.Data[k] = v
+	}
+	for id, r := range ins.Steps {
+		cp := *r
+		cp.Inputs = copyValues(r.Inputs)
+		cp.Outputs = copyValues(r.Outputs)
+		c.Steps[id] = &cp
+	}
+	if ins.Parent != nil {
+		p := *ins.Parent
+		c.Parent = &p
+	}
+	return c
+}
+
+func copyValues(m map[string]expr.Value) map[string]expr.Value {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]expr.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// instanceJSON is the serialized form of Instance.
+type instanceJSON struct {
+	Workflow  string                       `json:"workflow"`
+	ID        int                          `json:"id"`
+	Status    Status                       `json:"status"`
+	Data      map[string]expr.Value        `json:"data"`
+	Events    []event.Exported             `json:"events"`
+	Steps     map[model.StepID]*StepRecord `json:"steps"`
+	ExecOrder []model.StepID               `json:"execOrder"`
+	Parent    *ParentRef                   `json:"parent,omitempty"`
+}
+
+func (ins *Instance) toJSON() instanceJSON {
+	return instanceJSON{
+		Workflow:  ins.Workflow,
+		ID:        ins.ID,
+		Status:    ins.Status,
+		Data:      ins.Data,
+		Events:    ins.Events.Export(),
+		Steps:     ins.Steps,
+		ExecOrder: ins.ExecOrder,
+		Parent:    ins.Parent,
+	}
+}
+
+func fromJSON(j instanceJSON) *Instance {
+	ins := &Instance{
+		Workflow:  j.Workflow,
+		ID:        j.ID,
+		Status:    j.Status,
+		Data:      j.Data,
+		Events:    event.ImportTable(j.Events),
+		Steps:     j.Steps,
+		ExecOrder: j.ExecOrder,
+		Parent:    j.Parent,
+	}
+	if ins.Data == nil {
+		ins.Data = make(map[string]expr.Value)
+	}
+	if ins.Steps == nil {
+		ins.Steps = make(map[model.StepID]*StepRecord)
+	}
+	return ins
+}
+
+// ---------------------------------------------------------------------------
+// DB
+
+// Table names inside the store.
+const (
+	tableClass    = "class"
+	tableInstance = "instance"
+	tableArchive  = "archive"
+	tableSummary  = "summary"
+)
+
+// DB wraps a store as a workflow (or agent) database.
+type DB struct {
+	st *store.Store
+}
+
+// New wraps the given store.
+func New(st *store.Store) *DB { return &DB{st: st} }
+
+// NewMemory returns a DB over a fresh in-memory store.
+func NewMemory() *DB { return New(store.OpenMemory()) }
+
+// Store exposes the underlying store (e.g. for write-count metrics).
+func (db *DB) Store() *store.Store { return db.st }
+
+// SaveSchema persists a workflow class definition.
+func (db *DB) SaveSchema(s *model.Schema) error {
+	return db.st.PutJSON(tableClass, s.Name, s)
+}
+
+// LoadSchema retrieves a workflow class definition.
+func (db *DB) LoadSchema(name string) (*model.Schema, bool, error) {
+	var s model.Schema
+	ok, err := db.st.GetJSON(tableClass, name, &s)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return &s, true, nil
+}
+
+// SchemaNames lists stored class names.
+func (db *DB) SchemaNames() []string { return db.st.Keys(tableClass) }
+
+// SaveInstance persists an instance's full state.
+func (db *DB) SaveInstance(ins *Instance) error {
+	return db.st.PutJSON(tableInstance, ins.Key(), ins.toJSON())
+}
+
+// LoadInstance retrieves an instance.
+func (db *DB) LoadInstance(workflow string, id int) (*Instance, bool, error) {
+	var j instanceJSON
+	ok, err := db.st.GetJSON(tableInstance, InstanceKeyOf(workflow, id), &j)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return fromJSON(j), true, nil
+}
+
+// DeleteInstance removes an instance record (e.g. after a purge broadcast).
+func (db *DB) DeleteInstance(workflow string, id int) error {
+	return db.st.Delete(tableInstance, InstanceKeyOf(workflow, id))
+}
+
+// InstanceKeys lists keys of live instances.
+func (db *DB) InstanceKeys() []string { return db.st.Keys(tableInstance) }
+
+// Archive moves a finished instance to the archive table.
+func (db *DB) Archive(ins *Instance) error {
+	if err := db.st.PutJSON(tableArchive, ins.Key(), ins.toJSON()); err != nil {
+		return err
+	}
+	return db.st.Delete(tableInstance, ins.Key())
+}
+
+// LoadArchived retrieves an archived instance.
+func (db *DB) LoadArchived(workflow string, id int) (*Instance, bool, error) {
+	var j instanceJSON
+	ok, err := db.st.GetJSON(tableArchive, InstanceKeyOf(workflow, id), &j)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return fromJSON(j), true, nil
+}
+
+// SaveSummary updates the coordination instance summary table.
+func (db *DB) SaveSummary(workflow string, id int, status Status) error {
+	return db.st.PutJSON(tableSummary, InstanceKeyOf(workflow, id), status)
+}
+
+// LoadSummary reads an instance's summary status.
+func (db *DB) LoadSummary(workflow string, id int) (Status, bool, error) {
+	var s Status
+	ok, err := db.st.GetJSON(tableSummary, InstanceKeyOf(workflow, id), &s)
+	return s, ok, err
+}
+
+// SummaryKeys lists all summarized instances.
+func (db *DB) SummaryKeys() []string { return db.st.Keys(tableSummary) }

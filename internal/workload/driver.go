@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"crew/internal/expr"
+	"crew/internal/wfdb"
+)
+
+// Target is the architecture-independent face of a running WFMS deployment;
+// the central, parallel and distributed System types all satisfy it.
+type Target interface {
+	Start(workflow string, inputs map[string]expr.Value) (int, error)
+	Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error)
+	Abort(workflow string, id int) error
+	ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error
+}
+
+// Result summarizes a driver run.
+type Result struct {
+	Instances  int
+	Committed  int
+	Aborted    int
+	UserAborts int
+	InputEdits int
+	Elapsed    time.Duration
+}
+
+// Drive runs `instances` instances of every schema in the workload against a
+// target, applying the deterministic per-instance plan (aborts and input
+// changes per pa/pi). It waits for every instance to terminate.
+func Drive(t Target, w *Workload, instances int, timeout time.Duration) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	type ref struct {
+		wf   string
+		id   int
+		plan Plan
+	}
+	var refs []ref
+	for _, wf := range w.Library.Names() {
+		for i := 0; i < instances; i++ {
+			id, err := t.Start(wf, w.Inputs(i))
+			if err != nil {
+				return res, fmt.Errorf("workload: start %s: %w", wf, err)
+			}
+			res.Instances++
+			refs = append(refs, ref{wf: wf, id: id, plan: w.PlanFor(wf, id)})
+		}
+	}
+	// Apply user actions. Aborts may race with commit; both outcomes are
+	// legitimate, so errors from Abort/ChangeInputs on finished instances
+	// are ignored.
+	for _, r := range refs {
+		switch {
+		case r.plan.Abort:
+			if err := t.Abort(r.wf, r.id); err == nil {
+				res.UserAborts++
+			}
+		case r.plan.ChangeInputs:
+			if err := t.ChangeInputs(r.wf, r.id, w.ChangedInputs(r.id)); err == nil {
+				res.InputEdits++
+			}
+		}
+	}
+	for _, r := range refs {
+		st, err := t.Wait(r.wf, r.id, timeout)
+		if err != nil {
+			return res, fmt.Errorf("workload: wait %s.%d: %w", r.wf, r.id, err)
+		}
+		switch st {
+		case wfdb.Committed:
+			res.Committed++
+		case wfdb.Aborted:
+			res.Aborted++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

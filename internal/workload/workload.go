@@ -1,0 +1,294 @@
+// Package workload generates synthetic workflow populations parameterized
+// exactly by the paper's Table 3 (number of steps s, schemas c, instances i,
+// eligible agents a, rollback depth r, terminal steps f, abort compensation
+// width w, coordination densities me/ro/rd, and the probabilities pf, pi,
+// pa, pr), with fully deterministic, seeded failure injection. The same
+// workload runs unchanged on the centralized, parallel and distributed
+// architectures, which is what makes the Tables 4-6 comparison meaningful.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"crew/internal/analysis"
+	"crew/internal/expr"
+	"crew/internal/model"
+)
+
+// Workload is a generated schema library plus its program registry.
+type Workload struct {
+	Library  *model.Library
+	Programs *model.Registry
+	Agents   []string
+	Params   analysis.Parameters
+	Seed     int64
+}
+
+// AgentNames returns z agent node names (agent01, agent02, ...).
+func AgentNames(z int) []string {
+	out := make([]string, z)
+	for i := range out {
+		out[i] = fmt.Sprintf("agent%02d", i+1)
+	}
+	return out
+}
+
+// hash01 maps arbitrary labels deterministically to [0, 1). The FNV sum is
+// run through a murmur-style finalizer because FNV alone diffuses trailing
+// bytes poorly into the high bits we sample.
+func hash01(seed int64, parts ...string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
+}
+
+// pick returns n distinct items from pool, deterministically per label.
+func pick(pool []string, n int, seed int64, label string) []string {
+	if n >= len(pool) {
+		return append([]string(nil), pool...)
+	}
+	start := int(hash01(seed, label) * float64(len(pool)))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[(start+i)%len(pool)])
+	}
+	return out
+}
+
+// schemaName names the k-th generated schema.
+func schemaName(k int) string { return fmt.Sprintf("WF%02d", k+1) }
+
+// Generate builds c schemas of s steps each. Every schema is a chain of
+// s-f steps followed by f parallel terminal branches (giving the paper's f
+// final steps). Step programs produce one output, consume the previous
+// step's output, fail deterministically with probability pf on their first
+// attempt, and re-execute on rollback with probability pr (the remaining
+// steps reuse their previous results — the OCR path).
+func Generate(p analysis.Parameters, seed int64) (*Workload, error) {
+	if p.S < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 steps, got %d", p.S)
+	}
+	if p.F < 1 || p.F >= p.S {
+		return nil, fmt.Errorf("workload: need 1 <= f < s, got f=%d s=%d", p.F, p.S)
+	}
+	agents := AgentNames(p.Z)
+	lib := model.NewLibrary()
+	reg := model.NewRegistry()
+	w := &Workload{Library: lib, Programs: reg, Agents: agents, Params: p, Seed: seed}
+
+	for k := 0; k < p.C; k++ {
+		wf := schemaName(k)
+		b := model.NewSchema(wf, "I1")
+		chainLen := p.S - p.F
+
+		var prev model.StepID
+		for i := 1; i <= chainLen; i++ {
+			id := model.StepID(fmt.Sprintf("S%d", i))
+			opts := []model.StepOption{
+				model.WithOutputs("O1"),
+				model.WithAgents(pick(agents, p.A, seed, wf+string(id))...),
+				model.WithCompensation(w.compProgram(wf, id)),
+			}
+			if i > 1 {
+				opts = append(opts, model.WithInputs(prev.Ref("O1")))
+			} else {
+				opts = append(opts, model.WithInputs("WF.I1"))
+			}
+			// pr controls re-execution on rollback revisits: steps outside
+			// the re-execution fraction always reuse previous results.
+			if hash01(seed, wf, string(id), "pr") >= p.PR {
+				opts = append(opts, model.WithReexecCond("false"))
+			}
+			b.Step(id, w.stepProgram(wf, id), opts...)
+			if i > 1 {
+				b.Arc(prev, id)
+			}
+			prev = id
+		}
+		// f parallel terminal steps fan out from the end of the chain.
+		for j := 1; j <= p.F; j++ {
+			id := model.StepID(fmt.Sprintf("T%d", j))
+			b.Step(id, w.stepProgram(wf, id),
+				model.WithOutputs("O1"),
+				model.WithInputs(prev.Ref("O1")),
+				model.WithAgents(pick(agents, p.A, seed, wf+string(id))...),
+				model.WithCompensation(w.compProgram(wf, id)),
+			)
+			b.Arc(prev, id)
+		}
+		// Failure policies: a failing step rolls back r steps (bounded by
+		// the chain start); the first step and the terminal fan-out retry
+		// in place. Every step has a policy so injected failures exercise
+		// failure handling rather than aborting the workflow.
+		b.OnFailure("S1", "S1", 3)
+		for i := 2; i <= chainLen; i++ {
+			target := i - p.R
+			if target < 1 {
+				target = 1
+			}
+			b.OnFailure(model.StepID(fmt.Sprintf("S%d", i)),
+				model.StepID(fmt.Sprintf("S%d", target)), 3)
+		}
+		for j := 1; j <= p.F; j++ {
+			id := model.StepID(fmt.Sprintf("T%d", j))
+			b.OnFailure(id, id, 3)
+		}
+		// Abort compensation width w: the first w chain steps.
+		var abortSet []model.StepID
+		for i := 1; i <= p.W && i <= chainLen; i++ {
+			abortSet = append(abortSet, model.StepID(fmt.Sprintf("S%d", i)))
+		}
+		if len(abortSet) >= 1 {
+			b.AbortCompensate(abortSet...)
+		}
+		s, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("workload: schema %s: %w", wf, err)
+		}
+		lib.Add(s)
+	}
+
+	w.addCoordination()
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// addCoordination pairs consecutive schemas with relative-order, mutex and
+// rollback-dependency specs of the densities me, ro, rd (steps per workflow
+// involved in each requirement, as Table 3 defines them).
+func (w *Workload) addCoordination() {
+	p := w.Params
+	chainLen := p.S - p.F
+	for k := 0; k+1 < p.C; k += 2 {
+		a, b := schemaName(k), schemaName(k+1)
+
+		if p.RO >= 2 {
+			pairs := make([]model.ConflictPair, 0, p.RO)
+			for j := 0; j < p.RO && j+1 <= chainLen; j++ {
+				step := model.StepID(fmt.Sprintf("S%d", j+1))
+				pairs = append(pairs, model.ConflictPair{
+					A: model.StepRef{Workflow: a, Step: step},
+					B: model.StepRef{Workflow: b, Step: step},
+				})
+			}
+			if len(pairs) >= 1 {
+				w.Library.AddCoord(model.CoordSpec{
+					Kind:  model.RelativeOrder,
+					Name:  fmt.Sprintf("ro-%s-%s", a, b),
+					Pairs: pairs,
+				})
+			}
+		}
+
+		for j := 0; j < p.ME && chainLen-j >= 1; j++ {
+			step := model.StepID(fmt.Sprintf("S%d", chainLen-j))
+			w.Library.AddCoord(model.CoordSpec{
+				Kind: model.Mutex,
+				Name: fmt.Sprintf("mx-%s-%s-%d", a, b, j),
+				MutexSteps: []model.StepRef{
+					{Workflow: a, Step: step},
+					{Workflow: b, Step: step},
+				},
+			})
+		}
+
+		for j := 0; j < p.RD && j+2 <= chainLen; j++ {
+			w.Library.AddCoord(model.CoordSpec{
+				Kind:    model.RollbackDep,
+				Name:    fmt.Sprintf("rd-%s-%s-%d", a, b, j),
+				Trigger: model.StepRef{Workflow: a, Step: model.StepID(fmt.Sprintf("S%d", j+1))},
+				Target:  model.StepRef{Workflow: b, Step: model.StepID(fmt.Sprintf("S%d", j+1))},
+			})
+		}
+	}
+}
+
+// shouldFail injects a deterministic logical failure: a step fails on its
+// first attempt with probability pf (retries succeed, so every workflow
+// eventually commits).
+func (w *Workload) shouldFail(wf string, step model.StepID, instance, attempt int) bool {
+	if attempt > 1 {
+		return false
+	}
+	return hash01(w.Seed, wf, string(step), fmt.Sprintf("fail%d", instance)) < w.Params.PF
+}
+
+// stepProgram registers and returns the program name for a step.
+func (w *Workload) stepProgram(wf string, step model.StepID) string {
+	name := fmt.Sprintf("p:%s:%s", wf, step)
+	w.Programs.Register(name, func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		if w.shouldFail(wf, step, ctx.Instance, ctx.Attempt) {
+			return nil, model.Fail("injected")
+		}
+		// Output depends on the input value and attempt so data genuinely
+		// flows and changes across re-executions.
+		in := 0.0
+		for _, v := range ctx.Inputs {
+			if f, ok := v.AsNum(); ok {
+				in += f
+			}
+		}
+		return map[string]expr.Value{
+			"O1": expr.Num(math.Mod(in, 1e6) + float64(ctx.Attempt)),
+		}, nil
+	})
+	return name
+}
+
+// compProgram registers and returns the compensation program for a step.
+func (w *Workload) compProgram(wf string, step model.StepID) string {
+	name := fmt.Sprintf("c:%s:%s", wf, step)
+	w.Programs.Register(name, func(*model.ProgramContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	return name
+}
+
+// Plan describes the user-initiated actions for one instance.
+type Plan struct {
+	Abort        bool
+	ChangeInputs bool
+}
+
+// PlanFor returns the deterministic user-action plan for an instance: abort
+// with probability pa, else change inputs with probability pi.
+func (w *Workload) PlanFor(wf string, instance int) Plan {
+	h := hash01(w.Seed, wf, fmt.Sprintf("plan%d", instance))
+	p := w.Params
+	switch {
+	case h < p.PA:
+		return Plan{Abort: true}
+	case h < p.PA+p.PI:
+		return Plan{ChangeInputs: true}
+	default:
+		return Plan{}
+	}
+}
+
+// Inputs returns the workflow inputs for an instance.
+func (w *Workload) Inputs(instance int) map[string]expr.Value {
+	return map[string]expr.Value{"I1": expr.Num(float64(instance))}
+}
+
+// ChangedInputs returns the altered inputs used by input-change plans.
+func (w *Workload) ChangedInputs(instance int) map[string]expr.Value {
+	return map[string]expr.Value{"I1": expr.Num(float64(instance) + 0.5)}
+}
