@@ -18,6 +18,7 @@ package crew_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -48,6 +49,7 @@ const benchInstances = 4
 
 func runBench(b *testing.B, opt experiment.Options) *experiment.Measured {
 	b.Helper()
+	b.ReportAllocs()
 	if opt.Instances == 0 {
 		opt.Instances = benchInstances
 	}
@@ -55,6 +57,7 @@ func runBench(b *testing.B, opt experiment.Options) *experiment.Measured {
 		opt.Timeout = 120 * time.Second
 	}
 	var last *experiment.Measured
+	var totalInstances int
 	for i := 0; i < b.N; i++ {
 		opt.Seed = int64(100 + i)
 		m, err := experiment.Run(opt)
@@ -62,11 +65,13 @@ func runBench(b *testing.B, opt experiment.Options) *experiment.Measured {
 			b.Fatal(err)
 		}
 		last = m
+		totalInstances += m.Instances
 	}
 	b.ReportMetric(last.MsgsPerInstance[analysis.RowNormal], "msgs/inst")
 	b.ReportMetric(last.MsgsPerInstance[analysis.RowCoord], "coordmsgs/inst")
 	b.ReportMetric(last.MsgsPerInstance[analysis.RowFailure], "failmsgs/inst")
 	b.ReportMetric(last.LoadPerInstance[analysis.RowNormal], "load/inst")
+	b.ReportMetric(float64(totalInstances)/b.Elapsed().Seconds(), "inst/sec")
 	return last
 }
 
@@ -74,6 +79,7 @@ func runBench(b *testing.B, opt experiment.Options) *experiment.Measured {
 // parameters through the Tables 4-6 expressions) — microseconds, included
 // for completeness of the per-table index.
 func BenchmarkTable3Defaults(b *testing.B) {
+	b.ReportAllocs()
 	p := analysis.Default()
 	for i := 0; i < b.N; i++ {
 		for _, arch := range analysis.Architectures {
@@ -102,7 +108,9 @@ func BenchmarkTable6Distributed(b *testing.B) {
 // architectures and checks the recommended ordering (distributed leads on
 // load; centralized wins messages once coordination dominates).
 func BenchmarkTable7Ranking(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams()
+	var totalInstances int
 	for i := 0; i < b.N; i++ {
 		results := make(map[analysis.Architecture]*experiment.Measured, 3)
 		for _, arch := range analysis.Architectures {
@@ -114,12 +122,14 @@ func BenchmarkTable7Ranking(b *testing.B) {
 				b.Fatal(err)
 			}
 			results[arch] = m
+			totalInstances += m.Instances
 		}
 		rk := experiment.RankMeasured(results, analysis.NormalOnly, true)
 		if rk.Order[0] != analysis.Distributed {
 			b.Fatalf("measured load ranking = %v, want Distributed first", rk.Order)
 		}
 	}
+	b.ReportMetric(float64(totalInstances)/b.Elapsed().Seconds(), "inst/sec")
 }
 
 // BenchmarkSweepAgents sweeps z (distributed agents): per-node load should
@@ -202,9 +212,5 @@ func BenchmarkFigure3Recovery(b *testing.B) {
 }
 
 func sweepName(param string, v int) string {
-	const digits = "0123456789"
-	if v < 10 {
-		return param + "=" + digits[v:v+1]
-	}
-	return param + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+	return param + "=" + strconv.Itoa(v)
 }

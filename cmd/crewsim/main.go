@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"crew/internal/analysis"
@@ -137,16 +138,34 @@ func cmdTable7(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The three deployments are independent (separate networks, separate
+	// collectors), so measure them concurrently.
 	results := make(map[analysis.Architecture]*experiment.Measured, 3)
-	for _, arch := range analysis.Architectures {
-		m, err := experiment.Run(experiment.Options{
-			Arch: arch, Params: p, Instances: *instances, Seed: *seed,
-			Timeout: 5 * time.Minute,
-		})
+	errs := make([]error, len(analysis.Architectures))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, arch := range analysis.Architectures {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := experiment.Run(experiment.Options{
+				Arch: arch, Params: p, Instances: *instances, Seed: *seed,
+				Timeout: 5 * time.Minute,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("%v: %w", arch, err)
+				return
+			}
+			mu.Lock()
+			results[arch] = m
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("%v: %w", arch, err)
+			return err
 		}
-		results[arch] = m
 	}
 	fmt.Println("Table 7: Recommended Choice of Architectures (analytic | measured)")
 	fmt.Printf("  %-18s %-34s %-34s\n", "Criteria", "Load at Node", "Physical Messages")
@@ -190,12 +209,20 @@ func cmdSweep(args []string) error {
 	default:
 		return fmt.Errorf("unknown architecture %q", *archName)
 	}
-	fmt.Printf("Sweep of %s on %v (normal msgs/inst, coord msgs/inst, load/inst per node)\n", *param, arch)
+	// Parse the whole sweep up front, then measure every point concurrently
+	// (each point is its own deployment) and print in input order.
+	var points []float64
 	for _, vs := range strings.Split(*values, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
 		if err != nil {
 			return err
 		}
+		points = append(points, v)
+	}
+	lines := make([]string, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	for i, v := range points {
 		p := experimentParams()
 		switch *param {
 		case "s":
@@ -213,18 +240,31 @@ func cmdSweep(args []string) error {
 		default:
 			return fmt.Errorf("unknown parameter %q", *param)
 		}
-		m, err := experiment.Run(experiment.Options{
-			Arch: arch, Params: p, Instances: *instances, Seed: *seed,
-			Timeout: 5 * time.Minute,
-		})
-		if err != nil {
-			return err
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := experiment.Run(experiment.Options{
+				Arch: arch, Params: p, Instances: *instances, Seed: *seed,
+				Timeout: 5 * time.Minute,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			lines[i] = fmt.Sprintf("  %s=%-6g msgs=%-8.2f coord=%-8.2f load=%-8.3f",
+				*param, v,
+				m.MsgsPerInstance[analysis.RowNormal],
+				m.MsgsPerInstance[analysis.RowCoord],
+				m.LoadPerInstance[analysis.RowNormal])
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("Sweep of %s on %v (normal msgs/inst, coord msgs/inst, load/inst per node)\n", *param, arch)
+	for i, line := range lines {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		fmt.Printf("  %s=%-6g msgs=%-8.2f coord=%-8.2f load=%-8.3f\n",
-			*param, v,
-			m.MsgsPerInstance[analysis.RowNormal],
-			m.MsgsPerInstance[analysis.RowCoord],
-			m.LoadPerInstance[analysis.RowNormal])
+		fmt.Println(line)
 	}
 	return nil
 }

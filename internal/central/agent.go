@@ -18,7 +18,10 @@ type Agent struct {
 	net      *transport.Network
 	ep       *transport.Endpoint
 	programs *model.Registry
-	col      *metrics.Collector
+	rec      metrics.NodeRecorder
+	// handles caches per-destination senders; touched only by the agent
+	// goroutine.
+	handles map[string]*transport.Handle
 
 	load int64 // executions performed, reported to StateInformation probes
 
@@ -32,12 +35,14 @@ func NewAgent(name string, net *transport.Network, programs *model.Registry, col
 	if err != nil {
 		return nil, err
 	}
+	ep.ManualAck()
 	a := &Agent{
 		name:     name,
 		net:      net,
 		ep:       ep,
 		programs: programs,
-		col:      col,
+		rec:      col.Node(name),
+		handles:  make(map[string]*transport.Handle),
 		done:     make(chan struct{}),
 	}
 	a.wg.Add(1)
@@ -66,6 +71,7 @@ func (a *Agent) loop() {
 		case StateRequest:
 			a.send(p.ReplyTo, p.Mechanism, KindStateResponse, StateResponse{Agent: a.name, Load: atomic.LoadInt64(&a.load)})
 		}
+		a.ep.Ack()
 	}
 }
 
@@ -82,9 +88,7 @@ func (a *Agent) handleExec(req ExecRequest) {
 		resp.Reason = fmt.Sprintf("agent %s: unknown program %q", a.name, req.Program)
 	} else {
 		atomic.AddInt64(&a.load, 1)
-		if a.col != nil {
-			a.col.AddLoad(a.name, req.Mechanism, 1)
-		}
+		a.rec.Add(req.Mechanism, 1)
 		out, err := prog(&model.ProgramContext{
 			Workflow: req.Workflow,
 			Instance: req.Instance,
@@ -105,7 +109,15 @@ func (a *Agent) handleExec(req ExecRequest) {
 }
 
 func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any) {
-	_ = a.net.Send(transport.Message{
+	h := a.handles[to]
+	if h == nil {
+		var err error
+		if h, err = a.net.Handle(to); err != nil {
+			return
+		}
+		a.handles[to] = h
+	}
+	_ = h.Send(transport.Message{
 		From:      a.name,
 		To:        to,
 		Mechanism: mech,

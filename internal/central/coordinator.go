@@ -38,9 +38,7 @@ func NewLocalCoordinator(eng *Engine, tracker *coord.Tracker) *LocalCoordinator 
 }
 
 func (c *LocalCoordinator) load(units int64) {
-	if c.eng.cfg.Collector != nil {
-		c.eng.cfg.Collector.AddLoad(c.eng.cfg.Name, metrics.Coordination, units)
-	}
+	c.eng.rec.Add(metrics.Coordination, units)
 }
 
 // Check implements Coordinator.

@@ -91,6 +91,10 @@ type Engine struct {
 	net         *transport.Network
 	ep          *transport.Endpoint
 	coordinator Coordinator
+	rec         metrics.NodeRecorder
+	// handles caches per-destination senders; touched only by the engine
+	// goroutine.
+	handles map[string]*transport.Handle
 
 	cmdMu     sync.Mutex
 	cmdQ      []func()
@@ -119,10 +123,13 @@ func NewEngine(cfg Config, net *transport.Network) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.ManualAck()
 	e := &Engine{
 		cfg:        cfg,
 		net:        net,
 		ep:         ep,
+		rec:        cfg.Collector.Node(cfg.Name),
+		handles:    make(map[string]*transport.Handle),
 		cmdNotify:  make(chan struct{}, 1),
 		instances:  make(map[string]*instState),
 		nextID:     make(map[string]int),
@@ -167,6 +174,7 @@ func (e *Engine) loop() {
 				return
 			}
 			e.handleMessage(m)
+			e.ep.Ack()
 		case <-e.cmdNotify:
 		}
 	}
@@ -227,9 +235,7 @@ func (e *Engine) handleMessage(m transport.Message) {
 }
 
 func (e *Engine) addLoad(m metrics.Mechanism, units int64) {
-	if e.cfg.Collector != nil {
-		e.cfg.Collector.AddLoad(e.cfg.Name, m, units)
-	}
+	e.rec.Add(m, units)
 }
 
 // ---------------------------------------------------------------------------
@@ -770,7 +776,16 @@ func (e *Engine) dispatchStep(st *instState, step model.StepID, mode model.ExecM
 }
 
 func (e *Engine) send(to string, mech metrics.Mechanism, kind string, payload any) {
-	if err := e.net.Send(transport.Message{
+	h := e.handles[to]
+	if h == nil {
+		var err error
+		if h, err = e.net.Handle(to); err != nil {
+			e.logf("send %s to %s: %v", kind, to, err)
+			return
+		}
+		e.handles[to] = h
+	}
+	if err := h.Send(transport.Message{
 		From:      e.cfg.Name,
 		To:        to,
 		Mechanism: mech,

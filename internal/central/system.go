@@ -1,6 +1,7 @@
 package central
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -102,6 +103,18 @@ func (s *System) Network() *transport.Network { return s.net }
 func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
 	return s.Engine.Start(workflow, inputs)
 }
+
+// StartSeq launches an instance under an externally assigned ID. The global
+// sequence number is unused by the centralized architecture; accepting it
+// lets concurrent drivers start instances in any order without changing
+// where work lands (there is only one engine).
+func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
+	return s.Engine.StartWithID(workflow, id, inputs)
+}
+
+// Quiesce blocks until no message is queued, undelivered or still being
+// processed anywhere in the deployment.
+func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
 
 // Run starts an instance and waits for its terminal status.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {

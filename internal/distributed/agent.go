@@ -121,6 +121,10 @@ type Agent struct {
 	cfg Config
 	net *transport.Network
 	ep  *transport.Endpoint
+	rec metrics.NodeRecorder
+	// handles caches per-destination senders; touched only by the agent
+	// goroutine.
+	handles map[string]*transport.Handle
 
 	cmdMu     sync.Mutex
 	cmdQ      []func()
@@ -166,10 +170,13 @@ func NewAgent(cfg Config, net *transport.Network) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.ManualAck()
 	a := &Agent{
 		cfg:          cfg,
 		net:          net,
 		ep:           ep,
+		rec:          cfg.Collector.Node(cfg.Name),
+		handles:      make(map[string]*transport.Handle),
 		cmdNotify:    make(chan struct{}, 1),
 		replicas:     make(map[string]*replica),
 		handledHalts: make(map[string]int),
@@ -234,6 +241,7 @@ func (a *Agent) loop() {
 				return
 			}
 			a.handleMessage(m)
+			a.ep.Ack()
 		case <-a.cmdNotify:
 		case <-tick:
 			a.sweep()
@@ -277,9 +285,7 @@ func (a *Agent) Do(f func()) {
 }
 
 func (a *Agent) addLoad(m metrics.Mechanism, units int64) {
-	if a.cfg.Collector != nil {
-		a.cfg.Collector.AddLoad(a.cfg.Name, m, units)
-	}
+	a.rec.Add(m, units)
 }
 
 func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any) {
@@ -288,7 +294,16 @@ func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any
 		a.handleMessage(transport.Message{From: to, To: to, Mechanism: mech, Kind: kind, Payload: payload})
 		return
 	}
-	if err := a.net.Send(transport.Message{
+	h := a.handles[to]
+	if h == nil {
+		var err error
+		if h, err = a.net.Handle(to); err != nil {
+			a.logf("send %s to %s: %v", kind, to, err)
+			return
+		}
+		a.handles[to] = h
+	}
+	if err := h.Send(transport.Message{
 		From:      a.cfg.Name,
 		To:        to,
 		Mechanism: mech,

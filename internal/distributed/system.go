@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -159,6 +160,27 @@ func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, erro
 	}
 	return id, nil
 }
+
+// StartSeq launches an instance under an externally assigned ID. Placement is
+// a pure function of (workflow, id) — the elected coordination agent — so the
+// global sequence number is unused; accepting it lets concurrent drivers
+// start instances in any order without changing where work lands.
+func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
+	s.mu.Lock()
+	if id > s.nextID[workflow] {
+		s.nextID[workflow] = id
+	}
+	s.mu.Unlock()
+	ag, err := s.coordinationAgent(workflow, id)
+	if err != nil {
+		return err
+	}
+	return ag.StartInstance(workflow, id, inputs)
+}
+
+// Quiesce blocks until no message is queued, undelivered or still being
+// processed anywhere in the deployment.
+func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
 
 // Run starts an instance and waits for its terminal status.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {

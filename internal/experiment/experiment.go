@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -81,6 +82,7 @@ func Run(opt Options) (*Measured, error) {
 
 	var target workload.Target
 	var closeFn func()
+	var quiesce func(context.Context) error
 	var schedNodes []string
 
 	switch opt.Arch {
@@ -96,7 +98,7 @@ func Run(opt Options) (*Measured, error) {
 		if err != nil {
 			return nil, err
 		}
-		target, closeFn = sys, sys.Close
+		target, closeFn, quiesce = sys, sys.Close, sys.Quiesce
 		schedNodes = []string{"engine"}
 	case analysis.Parallel:
 		sys, err := parallel.NewSystem(parallel.SystemConfig{
@@ -111,7 +113,7 @@ func Run(opt Options) (*Measured, error) {
 		if err != nil {
 			return nil, err
 		}
-		target, closeFn = sys, sys.Close
+		target, closeFn, quiesce = sys, sys.Close, sys.Quiesce
 		for i := 0; i < opt.Params.E; i++ {
 			schedNodes = append(schedNodes, fmt.Sprintf("engine%d", i))
 		}
@@ -128,7 +130,7 @@ func Run(opt Options) (*Measured, error) {
 		if err != nil {
 			return nil, err
 		}
-		target, closeFn = sys, sys.Close
+		target, closeFn, quiesce = sys, sys.Close, sys.Quiesce
 		schedNodes = w.Agents
 	default:
 		return nil, fmt.Errorf("experiment: unknown architecture %v", opt.Arch)
@@ -139,8 +141,15 @@ func Run(opt Options) (*Measured, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Let trailing probe/ack messages land before reading counters.
-	time.Sleep(20 * time.Millisecond)
+	// Let trailing probe/ack messages land before reading counters: block
+	// until the transport reports no message queued, undelivered or still
+	// being handled, instead of sleeping a fixed grace period.
+	qctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	qerr := quiesce(qctx)
+	cancel()
+	if qerr != nil {
+		return nil, fmt.Errorf("experiment: quiesce: %w", qerr)
+	}
 
 	m := &Measured{
 		Arch:            opt.Arch,

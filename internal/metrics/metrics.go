@@ -8,6 +8,13 @@
 // load per step (number of instructions). Here one load unit corresponds to
 // one navigation action (rule evaluation, table update, packet pack/unpack,
 // or scheduling decision), which preserves the ratios that Tables 4-6 report.
+//
+// The counters are the hottest write path in the system: every agent and
+// engine goroutine reports into one Collector per experiment run. All
+// counters are therefore plain atomics — message counts are a fixed array of
+// atomic.Int64, and per-node load is recorded through pre-registered
+// NodeRecorder handles bound at system construction, so the steady state does
+// zero map lookups and takes zero locks.
 package metrics
 
 import (
@@ -15,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Mechanism classifies load and messages according to the paper's five
@@ -64,16 +72,37 @@ func (m Mechanism) String() string {
 }
 
 type nodeCounters struct {
-	load [numMechanisms]int64
+	load [numMechanisms]atomic.Int64
+}
+
+// NodeRecorder is a pre-registered, lock-free handle for recording load at
+// one node. Handles are handed to engines and agents at system construction
+// (via Collector.Node) so the per-step accounting in the hot path is a single
+// atomic add — no map lookup, no lock. The zero NodeRecorder is valid and
+// discards all adds, which is how deployments without a Collector run.
+type NodeRecorder struct {
+	c *nodeCounters
+}
+
+// Add records units of load for mechanism m at the recorder's node.
+func (r NodeRecorder) Add(m Mechanism, units int64) {
+	if r.c == nil || units == 0 {
+		return
+	}
+	r.c.load[m].Add(units)
 }
 
 // Collector accumulates load units per node and message counts per mechanism.
 // It is safe for concurrent use; every agent, engine and transport in the
 // repository reports into one Collector per experiment run.
 type Collector struct {
-	mu    sync.Mutex
+	msgs [numMechanisms]atomic.Int64
+
+	// mu guards the nodes map only. Registration happens once per node at
+	// system construction; steady-state writes go through NodeRecorder
+	// handles and never touch the map.
+	mu    sync.RWMutex
 	nodes map[string]*nodeCounters
-	msgs  [numMechanisms]int64
 }
 
 // NewCollector returns an empty Collector.
@@ -81,19 +110,33 @@ func NewCollector() *Collector {
 	return &Collector{nodes: make(map[string]*nodeCounters)}
 }
 
+// Node registers (or finds) a node and returns its lock-free recorder handle.
+// Calling Node on a nil Collector returns the discarding zero handle.
+func (c *Collector) Node(name string) NodeRecorder {
+	if c == nil {
+		return NodeRecorder{}
+	}
+	c.mu.RLock()
+	nc := c.nodes[name]
+	c.mu.RUnlock()
+	if nc == nil {
+		c.mu.Lock()
+		nc = c.nodes[name]
+		if nc == nil {
+			nc = &nodeCounters{}
+			c.nodes[name] = nc
+		}
+		c.mu.Unlock()
+	}
+	return NodeRecorder{c: nc}
+}
+
 // AddLoad records units of load at node for mechanism m.
 func (c *Collector) AddLoad(node string, m Mechanism, units int64) {
 	if units == 0 {
 		return
 	}
-	c.mu.Lock()
-	nc := c.nodes[node]
-	if nc == nil {
-		nc = &nodeCounters{}
-		c.nodes[node] = nc
-	}
-	nc.load[m] += units
-	c.mu.Unlock()
+	c.Node(node).Add(m, units)
 }
 
 // AddMessages records n physical messages of mechanism class m.
@@ -101,58 +144,54 @@ func (c *Collector) AddMessages(m Mechanism, n int64) {
 	if n == 0 {
 		return
 	}
-	c.mu.Lock()
-	c.msgs[m] += n
-	c.mu.Unlock()
+	c.msgs[m].Add(n)
 }
 
 // Messages returns the total number of physical messages recorded for m.
 func (c *Collector) Messages(m Mechanism) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgs[m]
+	return c.msgs[m].Load()
 }
 
 // TotalMessages returns the number of messages across all mechanisms.
 func (c *Collector) TotalMessages() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var t int64
-	for _, v := range c.msgs {
-		t += v
+	for i := range c.msgs {
+		t += c.msgs[i].Load()
 	}
 	return t
 }
 
 // NodeLoad returns the load recorded at node for mechanism m.
 func (c *Collector) NodeLoad(node string, m Mechanism) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if nc := c.nodes[node]; nc != nil {
-		return nc.load[m]
+	c.mu.RLock()
+	nc := c.nodes[node]
+	c.mu.RUnlock()
+	if nc != nil {
+		return nc.load[m].Load()
 	}
 	return 0
 }
 
 // TotalLoad returns the load summed over all nodes for mechanism m.
 func (c *Collector) TotalLoad(m Mechanism) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var t int64
 	for _, nc := range c.nodes {
-		t += nc.load[m]
+		t += nc.load[m].Load()
 	}
 	return t
 }
 
-// Nodes returns the sorted names of all nodes that recorded load.
+// Nodes returns the sorted names of all nodes that registered with the
+// Collector (via AddLoad or Node).
 func (c *Collector) Nodes() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	names := make([]string, 0, len(c.nodes))
 	for n := range c.nodes {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -161,27 +200,28 @@ func (c *Collector) Nodes() []string {
 // that carries it. The paper's "load at engine" for a scalability comparison
 // is the load at the most loaded scheduling node.
 func (c *Collector) MaxNodeLoad(m Mechanism) (node string, load int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for n, nc := range c.nodes {
-		if nc.load[m] > load || (nc.load[m] == load && (node == "" || n < node)) {
-			node, load = n, nc.load[m]
+		l := nc.load[m].Load()
+		if l > load || (l == load && (node == "" || n < node)) {
+			node, load = n, l
 		}
 	}
 	return node, load
 }
 
 // MeanNodeLoad returns the average per-node load for mechanism m over nodes
-// that recorded any load at all.
+// registered with the Collector.
 func (c *Collector) MeanNodeLoad(m Mechanism) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if len(c.nodes) == 0 {
 		return 0
 	}
 	var t int64
 	for _, nc := range c.nodes {
-		t += nc.load[m]
+		t += nc.load[m].Load()
 	}
 	return float64(t) / float64(len(c.nodes))
 }
@@ -192,27 +232,39 @@ type Snapshot struct {
 	Messages [numMechanisms]int64
 }
 
-// Snapshot copies the current counters.
+// Snapshot copies the current counters. The copy is not an atomic cut across
+// nodes: counters written concurrently with the snapshot land on either side.
 func (c *Collector) Snapshot() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s := Snapshot{NodeLoad: make(map[string][numMechanisms]int64, len(c.nodes))}
 	for n, nc := range c.nodes {
-		s.NodeLoad[n] = nc.load
+		var load [numMechanisms]int64
+		for i := range nc.load {
+			load[i] = nc.load[i].Load()
+		}
+		s.NodeLoad[n] = load
 	}
-	s.Messages = c.msgs
+	for i := range c.msgs {
+		s.Messages[i] = c.msgs[i].Load()
+	}
 	return s
 }
 
 // MessagesOf returns the message count for m in the snapshot.
 func (s Snapshot) MessagesOf(m Mechanism) int64 { return s.Messages[m] }
 
-// Reset clears all counters.
+// Reset clears all counters and forgets all nodes. NodeRecorder handles
+// obtained before the Reset stay valid but write to detached counters; systems
+// are expected to re-register after a Reset (in practice each experiment run
+// builds a fresh Collector).
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.nodes = make(map[string]*nodeCounters)
-	c.msgs = [numMechanisms]int64{}
 	c.mu.Unlock()
+	for i := range c.msgs {
+		c.msgs[i].Store(0)
+	}
 }
 
 // String renders a compact human-readable report, one line per mechanism.

@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -100,6 +101,10 @@ type System struct {
 	agents  []*central.Agent
 	col     *metrics.Collector
 	home    *homeCoordinator
+	// handles caches per-engine senders for the coordination protocol. Built
+	// once at construction; read-only afterwards, so engine goroutines use it
+	// without locking.
+	handles map[string]*transport.Handle
 
 	mu     sync.Mutex
 	owner  map[string]int // instance key -> engine index
@@ -171,9 +176,19 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		sys:     sys,
 		tracker: coord.NewTracker(cfg.Library),
 		idx:     0,
+		rec:     cfg.Collector.Node(sys.engines[0].Name()),
 	}
 	for i, eng := range sys.engines {
 		eng.SetCoordinator(&remoteCoordinator{sys: sys, idx: i})
+	}
+	sys.handles = make(map[string]*transport.Handle, len(sys.engines))
+	for _, eng := range sys.engines {
+		h, err := net.Handle(eng.Name())
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		sys.handles[eng.Name()] = h
 	}
 
 	for _, name := range agents {
@@ -228,6 +243,30 @@ func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, erro
 	return id, nil
 }
 
+// StartSeq launches an instance under an externally assigned ID and global
+// sequence number. The owning engine is seq modulo the engine count — the
+// same placement the round-robin Start produces when instances are started
+// one at a time in sequence order — so concurrent drivers reproduce the
+// sequential placement exactly regardless of call interleaving.
+func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
+	idx := seq % len(s.engines)
+	s.mu.Lock()
+	if id > s.nextID[workflow] {
+		s.nextID[workflow] = id
+	}
+	if seq >= s.rr {
+		s.rr = seq + 1
+	}
+	s.owner[wfdb.InstanceKeyOf(workflow, id)] = idx
+	eng := s.engines[idx]
+	s.mu.Unlock()
+	return eng.StartWithID(workflow, id, inputs)
+}
+
+// Quiesce blocks until no message is queued, undelivered or still being
+// processed anywhere in the deployment.
+func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
+
 // Run starts an instance and waits for its terminal status.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
 	id, err := s.Start(workflow, inputs)
@@ -280,13 +319,18 @@ func (s *System) Close() {
 }
 
 func (s *System) send(from, to string, kind string, payload any) {
-	_ = s.net.Send(transport.Message{
+	m := transport.Message{
 		From:      from,
 		To:        to,
 		Mechanism: metrics.Coordination,
 		Kind:      kind,
 		Payload:   payload,
-	})
+	}
+	if h := s.handles[to]; h != nil {
+		_ = h.Send(m)
+		return
+	}
+	_ = s.net.Send(m)
 }
 
 // onCoordMessage dispatches coordination protocol messages. It runs on the
@@ -320,14 +364,13 @@ type homeCoordinator struct {
 	sys     *System
 	tracker *coord.Tracker
 	idx     int // home engine index
+	rec     metrics.NodeRecorder
 }
 
 func (h *homeCoordinator) homeEngine() *central.Engine { return h.sys.engines[h.idx] }
 
 func (h *homeCoordinator) load(units int64) {
-	if h.sys.col != nil {
-		h.sys.col.AddLoad(h.homeEngine().Name(), metrics.Coordination, units)
-	}
+	h.rec.Add(metrics.Coordination, units)
 }
 
 // deliver routes an injection to the engine owning the target instance.

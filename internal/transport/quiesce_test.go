@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crew/internal/metrics"
+)
+
+func TestHandleSend(t *testing.T) {
+	col := metrics.NewCollector()
+	n := New(col)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+
+	h, err := n.Handle("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(Message{From: "a", To: "b", Mechanism: metrics.Normal, Kind: "StepExecute"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.Kind != "StepExecute" {
+		t.Errorf("message = %+v", m)
+	}
+	if col.Messages(metrics.Normal) != 1 {
+		t.Errorf("handle send not counted: %d", col.Messages(metrics.Normal))
+	}
+	if _, err := n.Handle("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Handle(ghost) = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestHandleAfterClose(t *testing.T) {
+	n := New(nil)
+	n.MustRegister("b")
+	h, err := n.Handle("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if _, err := n.Handle("b"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Handle after Close = %v, want ErrClosed", err)
+	}
+	if err := h.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on handle after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestQuiesceIdleAndAfterDrain(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+
+	// Idle network quiesces immediately.
+	if err := n.Quiesce(context.Background()); err != nil {
+		t.Fatalf("idle Quiesce = %v", err)
+	}
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Undelivered messages keep the network busy.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := n.Quiesce(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce with undelivered messages = %v, want deadline exceeded", err)
+	}
+	if n.InFlight() == 0 {
+		t.Fatal("InFlight = 0 with undelivered messages")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			recvOne(t, b)
+		}
+	}()
+	if err := n.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after drain = %v", err)
+	}
+	<-done
+	if got := n.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain = %d", got)
+	}
+}
+
+func TestQuiesceManualAck(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+	b.ManualAck()
+
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	// Received but not acked: still in flight, Quiesce must not pass.
+	if got := n.InFlight(); got != 1 {
+		t.Fatalf("InFlight after receive = %d, want 1 (manual ack)", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := n.Quiesce(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce before Ack = %v, want deadline exceeded", err)
+	}
+	b.Ack()
+	if err := n.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after Ack = %v", err)
+	}
+}
+
+func TestQuiesceCrashedNodeStaysBusy(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+
+	n.Crash("b")
+	for i := 0; i < 3; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := n.Quiesce(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce with crashed receiver = %v, want deadline exceeded", err)
+	}
+	n.Recover("b")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			recvOne(t, b)
+		}
+	}()
+	if err := n.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after recovery = %v", err)
+	}
+	<-done
+}
+
+func TestQuiesceReleasedByClose(t *testing.T) {
+	n := New(nil)
+	n.MustRegister("a")
+	n.MustRegister("b") // nobody reads b
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- n.Quiesce(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	n.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Quiesce released by Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Quiesce not released by Close")
+	}
+	if err := n.Quiesce(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Quiesce after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestTraceDuringTraffic installs and removes the trace callback while
+// senders are active: the callback must be captured atomically per message
+// (no torn reads, every invocation sees a complete message).
+func TestTraceDuringTraffic(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+
+	const total = 2000
+	var traced atomic.Int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for i := 0; i < total; i++ {
+			recvOne(t, b)
+		}
+	}()
+	sent := make(chan struct{})
+	go func() {
+		defer close(sent)
+		for i := 0; i < total; i++ {
+			if err := n.Send(Message{From: "a", To: "b", Kind: "StepExecute", Payload: i}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Flip the trace callback while traffic flows.
+	for j := 0; j < 200; j++ {
+		n.Trace(func(m Message) {
+			if m.Kind != "StepExecute" {
+				t.Errorf("trace saw torn message: %+v", m)
+			}
+			traced.Add(1)
+		})
+		n.Trace(nil)
+	}
+	<-sent
+	<-drained
+	t.Logf("traced %d of %d messages across 200 install/remove cycles", traced.Load(), total)
+}
+
+// TestCrashMidStreamPreservesFIFO crashes the receiver while a long stream is
+// being delivered and checks that, across crash, queueing and recovery, the
+// receiver still observes every message exactly once in send order (the pump
+// requeues an interrupted batch at the front of the queue).
+func TestCrashMidStreamPreservesFIFO(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.MustRegister("a")
+	b := n.MustRegister("b")
+
+	const total = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := n.Send(Message{From: "a", To: "b", Payload: i}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	next := 0
+	consume := func(k int) {
+		for ; next < k; next++ {
+			if m := recvOne(t, b); m.Payload.(int) != next {
+				t.Fatalf("out of order across crash: got %v, want %d", m.Payload, next)
+			}
+		}
+	}
+	consume(100)
+	n.Crash("b")
+	// Drain at most the handful of messages the pump already committed to the
+	// channel before observing the crash; then the stream must stall.
+	for {
+		select {
+		case m := <-b.Inbox():
+			if m.Payload.(int) != next {
+				t.Fatalf("out of order during crash drain: got %v, want %d", m.Payload, next)
+			}
+			next++
+		case <-time.After(50 * time.Millisecond):
+			goto stalled
+		}
+	}
+stalled:
+	n.Recover("b")
+	consume(total)
+	wg.Wait()
+	if err := n.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after crash/recover stream = %v", err)
+	}
+}

@@ -11,13 +11,26 @@
 //   - every physical message is counted in a metrics.Collector under its
 //     mechanism class, which is the quantity the paper's evaluation compares
 //     across architectures.
+//
+// The send side is the system's hottest path, so it is lock-free: the node
+// table is copy-on-write (registration is rare, sends are not), the closed
+// flag and trace callback are atomics, and per-destination Handles returned
+// by Network.Handle skip the node lookup entirely. The receive side batches:
+// each pump wakeup swaps the whole queued slice out under the node lock and
+// delivers the batch, instead of one lock round-trip per message.
+//
+// The network also tracks every accepted message until it is consumed, which
+// is what makes Quiesce possible: experiment harnesses block until no message
+// is queued or undelivered instead of sleeping an arbitrary grace period.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crew/internal/metrics"
 )
@@ -39,6 +52,7 @@ type Message struct {
 type Endpoint struct {
 	name string
 	ch   chan Message
+	nd   *node
 }
 
 // Name returns the node name.
@@ -48,29 +62,53 @@ func (e *Endpoint) Name() string { return e.name }
 // down.
 func (e *Endpoint) Inbox() <-chan Message { return e.ch }
 
+// ManualAck switches the endpoint to handler-completion tracking: a message
+// counts as in flight (for Quiesce) until the consumer calls Ack, not merely
+// until it is read from the inbox. Consumers that process messages and send
+// follow-ups must use this mode, otherwise Quiesce can observe an idle
+// network between a message being received and its handler running. It must
+// be called before any message is delivered to the endpoint (in practice:
+// right after Register, before traffic starts).
+func (e *Endpoint) ManualAck() { e.nd.manualAck.Store(true) }
+
+// Ack marks one received message as fully processed. It must be called
+// exactly once per message read from the inbox of a ManualAck endpoint, after
+// the handler (and any sends it performs) completes. On endpoints not in
+// manual-ack mode it is a no-op.
+func (e *Endpoint) Ack() {
+	if e.nd.manualAck.Load() {
+		e.nd.net.decInflight()
+	}
+}
+
 type node struct {
-	ep     *Endpoint
+	net       *Network
+	ep        *Endpoint
+	up        atomic.Bool
+	manualAck atomic.Bool
+
 	mu     sync.Mutex
 	queue  []Message
-	up     bool
 	notify chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
 }
 
+// pump drains the node's mailbox into its inbox channel. Each wakeup swaps
+// the entire queued slice out under the lock and delivers the batch, so the
+// per-message steady-state cost is one channel send — the lock is paid once
+// per burst. The batch and queue buffers are reused across swaps.
 func (nd *node) pump() {
 	defer close(nd.done)
 	defer close(nd.ep.ch)
+	var batch []Message
 	for {
 		nd.mu.Lock()
-		var next *Message
-		if nd.up && len(nd.queue) > 0 {
-			m := nd.queue[0]
-			nd.queue = nd.queue[1:]
-			next = &m
+		if nd.up.Load() && len(nd.queue) > 0 {
+			batch, nd.queue = nd.queue, batch[:0]
 		}
 		nd.mu.Unlock()
-		if next == nil {
+		if len(batch) == 0 {
 			select {
 			case <-nd.notify:
 				continue
@@ -78,11 +116,26 @@ func (nd *node) pump() {
 				return
 			}
 		}
-		select {
-		case nd.ep.ch <- *next:
-		case <-nd.stop:
-			return
+		for i := range batch {
+			if !nd.up.Load() {
+				// Crashed mid-batch: push the undelivered remainder back to
+				// the front of the queue so recovery preserves FIFO order.
+				rest := append([]Message(nil), batch[i:]...)
+				nd.mu.Lock()
+				nd.queue = append(rest, nd.queue...)
+				nd.mu.Unlock()
+				break
+			}
+			select {
+			case nd.ep.ch <- batch[i]:
+				if !nd.manualAck.Load() {
+					nd.net.decInflight()
+				}
+			case <-nd.stop:
+				return
+			}
 		}
+		batch = batch[:0]
 	}
 }
 
@@ -95,14 +148,38 @@ func (nd *node) wake() {
 
 // Network connects named nodes.
 type Network struct {
+	// mu serializes registration and close; sends never take it.
 	mu        sync.Mutex
-	nodes     map[string]*node
+	nodes     atomic.Pointer[map[string]*node]
 	collector *metrics.Collector
-	closed    bool
+	closed    atomic.Bool
+	closedCh  chan struct{}
 	// trace, when non-nil, receives a copy of every sent message (for
-	// protocol-trace tests and the crewsim fig4 demo).
-	trace func(Message)
+	// protocol-trace tests and the crewsim fig4 demo). Captured atomically so
+	// installation can race with traffic.
+	trace atomic.Pointer[func(Message)]
+
+	// inflight counts messages accepted by Send but not yet consumed (see
+	// Endpoint.ManualAck for what "consumed" means per endpoint). idleCh is
+	// non-nil while Quiesce waiters sleep and is closed when inflight reaches
+	// zero.
+	inflight atomic.Int64
+	idleMu   sync.Mutex
+	idleCh   chan struct{}
 }
+
+// Handle is a cached sender bound to one destination node. It skips the node
+// lookup that Network.Send performs, which makes it the preferred send path
+// for engines and agents that message the same peers repeatedly.
+type Handle struct {
+	n  *Network
+	nd *node
+}
+
+// Send enqueues a message for delivery to the handle's node and counts it.
+// The message's To field should name the handle's node; delivery goes to the
+// bound node regardless.
+func (h *Handle) Send(m Message) error { return h.n.deliver(h.nd, m) }
 
 // ErrUnknownNode is returned when sending to an unregistered node.
 var ErrUnknownNode = errors.New("transport: unknown node")
@@ -113,35 +190,53 @@ var ErrClosed = errors.New("transport: closed")
 // New returns an empty network counting messages into collector (which may
 // be nil to disable counting).
 func New(collector *metrics.Collector) *Network {
-	return &Network{nodes: make(map[string]*node), collector: collector}
+	n := &Network{collector: collector, closedCh: make(chan struct{})}
+	empty := make(map[string]*node)
+	n.nodes.Store(&empty)
+	return n
 }
 
 // Trace installs a callback invoked (synchronously, under no lock) with a
-// copy of every message accepted for delivery.
+// copy of every message accepted for delivery. Installation is atomic with
+// respect to concurrent sends.
 func (n *Network) Trace(fn func(Message)) {
-	n.mu.Lock()
-	n.trace = fn
-	n.mu.Unlock()
+	if fn == nil {
+		n.trace.Store(nil)
+		return
+	}
+	n.trace.Store(&fn)
+}
+
+// lookup resolves a node without locking (copy-on-write node table).
+func (n *Network) lookup(name string) *node {
+	return (*n.nodes.Load())[name]
 }
 
 // Register creates a node and returns its endpoint.
 func (n *Network) Register(name string) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed.Load() {
 		return nil, ErrClosed
 	}
-	if _, dup := n.nodes[name]; dup {
+	old := *n.nodes.Load()
+	if _, dup := old[name]; dup {
 		return nil, fmt.Errorf("transport: node %q already registered", name)
 	}
 	nd := &node{
-		ep:     &Endpoint{name: name, ch: make(chan Message)},
-		up:     true,
+		net:    n,
 		notify: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	n.nodes[name] = nd
+	nd.up.Store(true)
+	nd.ep = &Endpoint{name: name, ch: make(chan Message), nd: nd}
+	next := make(map[string]*node, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = nd
+	n.nodes.Store(&next)
 	go nd.pump()
 	return nd.ep, nil
 }
@@ -156,26 +251,43 @@ func (n *Network) MustRegister(name string) *Endpoint {
 	return ep
 }
 
+// Handle returns a cached sender for a registered node.
+func (n *Network) Handle(name string) (*Handle, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	nd := n.lookup(name)
+	if nd == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	return &Handle{n: n, nd: nd}, nil
+}
+
 // Send enqueues a message for delivery and counts it. Messages to a crashed
-// node are retained and delivered after recovery.
+// node are retained and delivered after recovery. The path is lock-free up
+// to the destination node's queue append.
 func (n *Network) Send(m Message) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return ErrClosed
 	}
-	nd, ok := n.nodes[m.To]
-	trace := n.trace
-	n.mu.Unlock()
-	if !ok {
+	nd := n.lookup(m.To)
+	if nd == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, m.To)
+	}
+	return n.deliver(nd, m)
+}
+
+func (n *Network) deliver(nd *node, m Message) error {
+	if n.closed.Load() {
+		return ErrClosed
 	}
 	if n.collector != nil {
 		n.collector.AddMessages(m.Mechanism, 1)
 	}
-	if trace != nil {
-		trace(m)
+	if fn := n.trace.Load(); fn != nil {
+		(*fn)(m)
 	}
+	n.inflight.Add(1)
 	nd.mu.Lock()
 	nd.queue = append(nd.queue, m)
 	nd.mu.Unlock()
@@ -183,55 +295,83 @@ func (n *Network) Send(m Message) error {
 	return nil
 }
 
+// decInflight retires one in-flight message and releases Quiesce waiters when
+// the network drains. The idle mutex is only touched on transitions to zero.
+func (n *Network) decInflight() {
+	if n.inflight.Add(-1) == 0 {
+		n.idleMu.Lock()
+		if n.idleCh != nil {
+			close(n.idleCh)
+			n.idleCh = nil
+		}
+		n.idleMu.Unlock()
+	}
+}
+
+// InFlight reports the number of messages accepted but not yet consumed.
+func (n *Network) InFlight() int64 { return n.inflight.Load() }
+
+// Quiesce blocks until the network is idle: no message queued, undelivered,
+// or (for ManualAck endpoints) still being processed. Messages queued for a
+// crashed node keep the network non-idle until the node recovers. It returns
+// ctx.Err() if the context ends first and ErrClosed if the network closes.
+func (n *Network) Quiesce(ctx context.Context) error {
+	for {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		n.idleMu.Lock()
+		if n.inflight.Load() == 0 {
+			n.idleMu.Unlock()
+			return nil
+		}
+		if n.idleCh == nil {
+			n.idleCh = make(chan struct{})
+		}
+		ch := n.idleCh
+		n.idleMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.closedCh:
+			return ErrClosed
+		}
+	}
+}
+
 // Alive reports whether the node is registered and up.
 func (n *Network) Alive(name string) bool {
-	n.mu.Lock()
-	nd, ok := n.nodes[name]
-	n.mu.Unlock()
-	if !ok {
-		return false
-	}
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	return nd.up
+	nd := n.lookup(name)
+	return nd != nil && nd.up.Load()
 }
 
 // Crash marks a node down: deliveries pause and messages queue until
 // recovery. Crashing an unknown node is a no-op returning false.
 func (n *Network) Crash(name string) bool {
-	n.mu.Lock()
-	nd, ok := n.nodes[name]
-	n.mu.Unlock()
-	if !ok {
+	nd := n.lookup(name)
+	if nd == nil {
 		return false
 	}
-	nd.mu.Lock()
-	nd.up = false
-	nd.mu.Unlock()
+	nd.up.Store(false)
 	return true
 }
 
 // Recover marks a node up again and resumes delivery of queued messages.
 func (n *Network) Recover(name string) bool {
-	n.mu.Lock()
-	nd, ok := n.nodes[name]
-	n.mu.Unlock()
-	if !ok {
+	nd := n.lookup(name)
+	if nd == nil {
 		return false
 	}
-	nd.mu.Lock()
-	nd.up = true
-	nd.mu.Unlock()
+	nd.up.Store(true)
 	nd.wake()
 	return true
 }
 
 // QueuedFor returns how many messages wait for a (typically crashed) node.
 func (n *Network) QueuedFor(name string) int {
-	n.mu.Lock()
-	nd, ok := n.nodes[name]
-	n.mu.Unlock()
-	if !ok {
+	nd := n.lookup(name)
+	if nd == nil {
 		return 0
 	}
 	nd.mu.Lock()
@@ -241,10 +381,9 @@ func (n *Network) QueuedFor(name string) int {
 
 // Nodes returns the sorted registered node names.
 func (n *Network) Nodes() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]string, 0, len(n.nodes))
-	for name := range n.nodes {
+	nodes := *n.nodes.Load()
+	out := make([]string, 0, len(nodes))
+	for name := range nodes {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -252,18 +391,17 @@ func (n *Network) Nodes() []string {
 }
 
 // Close shuts the network down: pumps stop and every endpoint's inbox is
-// closed after its pump exits. Pending undelivered messages are dropped.
+// closed after its pump exits. Pending undelivered messages are dropped and
+// any Quiesce waiters are released with ErrClosed.
 func (n *Network) Close() {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed.Load() {
 		n.mu.Unlock()
 		return
 	}
-	n.closed = true
-	nodes := make([]*node, 0, len(n.nodes))
-	for _, nd := range n.nodes {
-		nodes = append(nodes, nd)
-	}
+	n.closed.Store(true)
+	close(n.closedCh)
+	nodes := *n.nodes.Load()
 	n.mu.Unlock()
 	for _, nd := range nodes {
 		close(nd.stop)
