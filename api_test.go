@@ -1,0 +1,178 @@
+package crew_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crew"
+)
+
+func slowLib(t *testing.T) (*crew.Library, *crew.Registry) {
+	t.Helper()
+	lib := crew.NewLibrary()
+	// The slow step is pinned to a2 while the start step (and so the
+	// distributed coordinator) lives on a1: Start returns before the slow
+	// program finishes on every architecture.
+	lib.Add(crew.NewSchema("Slow").
+		Step("A", "fast", crew.WithAgents("a1")).
+		Step("B", "slow", crew.WithAgents("a2")).
+		Seq("A", "B").
+		MustBuild())
+	lib.Add(crew.NewSchema("Fast").Step("A", "fast").MustBuild())
+	reg := crew.NewRegistry()
+	reg.Register("slow", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+		time.Sleep(200 * time.Millisecond)
+		return nil, nil
+	})
+	reg.Register("fast", crew.NopProgram())
+	return lib, reg
+}
+
+// TestTypedErrorsAcrossArchitectures pins the error contract of the System
+// interface: every architecture reports the same failure classes through the
+// same errors.Is-matchable sentinels.
+func TestTypedErrorsAcrossArchitectures(t *testing.T) {
+	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
+		t.Run(arch.String(), func(t *testing.T) {
+			lib, reg := slowLib(t)
+			sys, err := crew.NewSystem(crew.Config{
+				Library:      lib,
+				Programs:     reg,
+				Architecture: arch,
+				Agents:       []string{"a1", "a2"},
+				Logf:         t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := sys.Start("NoSuch", nil); !errors.Is(err, crew.ErrUnknownWorkflow) {
+				t.Errorf("Start(unknown) = %v, want ErrUnknownWorkflow", err)
+			}
+
+			id, err := sys.Start("Slow", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Wait("Slow", id, 10*time.Millisecond); !errors.Is(err, crew.ErrTimeout) {
+				t.Errorf("Wait(short deadline) = %v, want ErrTimeout", err)
+			}
+			if st, err := sys.Wait("Slow", id, waitTimeout); err != nil || st != crew.Committed {
+				t.Fatalf("final wait = (%v, %v)", st, err)
+			}
+
+			sys.Close()
+			if _, err := sys.Start("Fast", nil); !errors.Is(err, crew.ErrClosed) {
+				t.Errorf("Start after Close = %v, want ErrClosed", err)
+			}
+			if _, err := sys.WaitCtx(context.Background(), "Slow", id); !errors.Is(err, crew.ErrClosed) {
+				t.Errorf("WaitCtx after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestInstanceErrorsCentral(t *testing.T) {
+	lib, reg := slowLib(t)
+	sys, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Abort("Fast", 99); !errors.Is(err, crew.ErrUnknownInstance) {
+		t.Errorf("Abort(never started) = %v, want ErrUnknownInstance", err)
+	}
+	id, st, err := sys.Run("Fast", nil, waitTimeout)
+	if err != nil || st != crew.Committed {
+		t.Fatalf("run = (%v, %v)", st, err)
+	}
+	if err := sys.Abort("Fast", id); !errors.Is(err, crew.ErrNotRunning) {
+		t.Errorf("Abort(committed) = %v, want ErrNotRunning", err)
+	}
+}
+
+// TestWaitCtxCancellation distinguishes a plain cancellation (reported as
+// ctx.Err()) from a deadline expiry (reported as ErrTimeout).
+func TestWaitCtxCancellation(t *testing.T) {
+	lib, reg := slowLib(t)
+	sys, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	id, err := sys.Start("Slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := sys.WaitCtx(ctx, "Slow", id); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled WaitCtx = %v, want context.Canceled", err)
+	}
+	if _, err := sys.Wait("Slow", id, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidatePreflight(t *testing.T) {
+	lib, reg := slowLib(t)
+	good := crew.Config{Library: lib, Programs: reg}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Engines = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative engine count accepted")
+	}
+	bad = good
+	bad.DBs = []*crew.DB{crew.NewMemoryDB()}
+	if err := bad.Validate(); err == nil {
+		t.Error("central architecture with DBs accepted")
+	}
+}
+
+// TestWithFaultsPublicAPI arms a chaos plan through the public option and
+// checks that the crash/recovery cycle is applied and survived.
+func TestWithFaultsPublicAPI(t *testing.T) {
+	lib := crew.NewLibrary()
+	lib.Add(crew.NewSchema("W").
+		Step("A", "p").Step("B", "p").Step("C", "p").
+		Seq("A", "B", "C").
+		MustBuild())
+	reg := crew.NewRegistry()
+	reg.Register("p", crew.NopProgram())
+
+	plan := crew.NewChaosPlan(9, []string{"engine"}, 1, 6, 10, 4)
+	col := crew.NewCollector()
+	sys, err := crew.NewSystem(crew.Config{
+		Library:   lib,
+		Programs:  reg,
+		DB:        crew.NewMemoryDB(),
+		Collector: col,
+		Agents:    []string{"a1", "a2"},
+		Logf:      t.Logf,
+	}, crew.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for i := 0; i < 3; i++ {
+		if _, st, err := sys.Run("W", nil, 30*time.Second); err != nil || st != crew.Committed {
+			t.Fatalf("instance %d = (%v, %v)", i, st, err)
+		}
+	}
+	if col.Crashes() != 1 || col.Recoveries() != 1 {
+		t.Errorf("crashes=%d recoveries=%d, want 1/1", col.Crashes(), col.Recoveries())
+	}
+
+	invalid := crew.FaultPlan{Events: []crew.FaultEvent{{Action: crew.FaultRecover, Node: "engine", At: 1}}}
+	if _, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg}, crew.WithFaults(invalid)); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}

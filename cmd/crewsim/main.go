@@ -11,6 +11,7 @@
 //	crewsim table4|table5|table6 [-i N] [-seed S] [-s steps] [-z agents] [-e engines]
 //	crewsim table7  [-i N] [-seed S]
 //	crewsim sweep   [-i N] -param s|z|e|ro -values 5,10,15 [-arch central|parallel|distributed]
+//	crewsim chaos   [-i N] [-seed S] [-crashes 1,2,4] [-sfr RATE] [-drop K] [-smoke]
 //	crewsim fig4
 //	crewsim fig5
 //	crewsim fig7
@@ -50,6 +51,8 @@ func main() {
 		err = cmdTable7(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "fig4":
 		err = cmdFig4()
 	case "fig5":
@@ -67,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: crewsim <table3|table4|table5|table6|table7|sweep|fig4|fig5|fig7> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: crewsim <table3|table4|table5|table6|table7|sweep|chaos|fig4|fig5|fig7> [flags]`)
 }
 
 // experimentParams defines the measured-run parameter point: Table 3
@@ -176,6 +179,72 @@ func cmdTable7(args []string) error {
 		mm := experiment.RankMeasured(results, c, false)
 		fmt.Printf("  %-18s analytic: %-24s analytic: %s\n", c, rankStr(al.Order), rankStr(am.Order))
 		fmt.Printf("  %-18s measured: %-24s measured: %s\n", "", rankStr(ml.Order), rankStr(mm.Order))
+	}
+	return nil
+}
+
+// cmdChaos sweeps crash counts across all three architectures under the
+// deterministic fault injector, reporting recovery metrics and the verified
+// coordination invariants. Any non-terminal instance or invariant violation
+// fails the command, so it doubles as a CI recovery check (-smoke shrinks it
+// to one quick point per architecture).
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	instances := fs.Int("i", 3, "instances per schema")
+	seed := fs.Int64("seed", 1, "workload and fault-plan seed")
+	crashList := fs.String("crashes", "1,2,4", "comma-separated crash counts to sweep")
+	sfr := fs.Float64("sfr", 0, "injected transient step-failure rate")
+	drop := fs.Int("drop", 0, "drop every k-th message (0 disables)")
+	smoke := fs.Bool("smoke", false, "quick single-point run per architecture")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	if *smoke {
+		counts = []int{1}
+		*instances = 2
+	} else {
+		for _, vs := range strings.Split(*crashList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(vs))
+			if err != nil {
+				return err
+			}
+			counts = append(counts, v)
+		}
+	}
+	p := experimentParams()
+	p.RO = 3 // three ordered instances make the relative-order check non-vacuous
+
+	fmt.Printf("Chaos sweep (seed=%d, %d instances/schema, sfr=%g, drop=%d)\n",
+		*seed, *instances, *sfr, *drop)
+	failures := 0
+	for _, crashes := range counts {
+		fmt.Printf("crashes=%d\n", crashes)
+		for _, arch := range analysis.Architectures {
+			m, _, err := experiment.RunChaos(experiment.ChaosOptions{
+				Arch:         arch,
+				Params:       p,
+				Instances:    *instances,
+				Seed:         *seed,
+				Timeout:      5 * time.Minute,
+				Crashes:      crashes,
+				StepFailRate: *sfr,
+				DropEvery:    *drop,
+			})
+			if err != nil {
+				return fmt.Errorf("%v crashes=%d: %w", arch, crashes, err)
+			}
+			fmt.Printf("  %s\n", experiment.FormatChaos(m))
+			fmt.Printf("  %-12s plan: %s\n", "", m.PlanDigest())
+			failures += len(m.NonTerminal) + len(m.MutexViolations) + len(m.OrderViolations)
+			if m.CrashesApplied < 1 {
+				failures++
+				fmt.Printf("  %-12s ERROR: no crash was applied\n", "")
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d recovery-contract violations", failures)
 	}
 	return nil
 }

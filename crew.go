@@ -27,22 +27,39 @@
 // compiled with CompileLAWS. Choose the control architecture with
 // Config.Architecture; the same library, programs and API run unchanged on
 // all three, which is exactly what the paper's evaluation compares.
+//
+// The System interface is context-aware — StartCtx, RunCtx and WaitCtx
+// accept a context, and the duration-based calls are thin wrappers over
+// them — and reports failure classes through typed sentinels
+// (ErrUnknownWorkflow, ErrUnknownInstance, ErrNotRunning, ErrTimeout,
+// ErrClosed) that errors.Is-match identically on every architecture.
+//
+// Deployments can be fault-injected deterministically: WithFaults arms a
+// seeded FaultPlan (see NewChaosPlan) of scheduled node crashes and
+// recoveries, per-link message drops and delays, and transient step
+// failures. A crashed engine halts and later rebuilds its volatile state
+// from the workflow database (give it one with Config.DB/DBs); the transport
+// parks and replays a crashed node's messages — the paper's persistent-queue
+// recovery contract. The same seed reproduces the same fault schedule.
 package crew
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"crew/internal/analysis"
 	"crew/internal/central"
+	"crew/internal/cerrors"
 	"crew/internal/distributed"
 	"crew/internal/expr"
+	"crew/internal/faults"
 	"crew/internal/frontend"
 	"crew/internal/laws"
 	"crew/internal/metrics"
 	"crew/internal/model"
 	"crew/internal/parallel"
+	"crew/internal/transport"
 	"crew/internal/wfdb"
 )
 
@@ -87,6 +104,16 @@ type (
 	Status = wfdb.Status
 	// Instance is a snapshot of one workflow instance's state.
 	Instance = wfdb.Instance
+	// DB is a workflow database: the persistent instance store an engine
+	// recovers from after a crash.
+	DB = wfdb.DB
+	// FaultPlan is a deterministic, seeded fault-injection schedule; pass it
+	// to NewSystem through WithFaults.
+	FaultPlan = faults.Plan
+	// FaultEvent schedules one node crash or recovery within a FaultPlan.
+	FaultEvent = faults.Event
+	// LinkFault injects per-link message drops and delays within a FaultPlan.
+	LinkFault = faults.LinkFault
 	// Collector accumulates the load and message metrics the paper's
 	// evaluation compares.
 	Collector = metrics.Collector
@@ -125,6 +152,30 @@ const (
 	MechAbort        = metrics.Abort
 	MechFailure      = metrics.Failure
 	MechCoordination = metrics.Coordination
+)
+
+// Fault-plan event actions.
+const (
+	// FaultCrash halts a node at a scheduled point.
+	FaultCrash = faults.Crash
+	// FaultRecover restarts a crashed node.
+	FaultRecover = faults.Recover
+)
+
+// Sentinel errors shared by every architecture. All System methods wrap these
+// values, so callers match failure classes with errors.Is regardless of the
+// deployed architecture.
+var (
+	// ErrUnknownWorkflow reports a workflow class absent from the library.
+	ErrUnknownWorkflow = cerrors.ErrUnknownWorkflow
+	// ErrUnknownInstance reports an instance that was never started.
+	ErrUnknownInstance = cerrors.ErrUnknownInstance
+	// ErrNotRunning reports an operation on a terminated instance.
+	ErrNotRunning = cerrors.ErrNotRunning
+	// ErrTimeout reports that a wait deadline elapsed first.
+	ErrTimeout = cerrors.ErrTimeout
+	// ErrClosed reports an operation on a closed System.
+	ErrClosed = cerrors.ErrClosed
 )
 
 // Value constructors.
@@ -181,6 +232,12 @@ var (
 	NewCollector = metrics.NewCollector
 	// DefaultParams returns the paper's average-case Table 3 parameters.
 	DefaultParams = analysis.Default
+	// NewMemoryDB creates an in-memory workflow database.
+	NewMemoryDB = wfdb.NewMemory
+	// NewChaosPlan derives a deterministic crash/recovery schedule from a
+	// seed: crashes crashes spread over targets, the i-th at message
+	// firstAt+i*spacing, recovering downtime messages later.
+	NewChaosPlan = faults.ChaosPlan
 )
 
 // CompileLAWS compiles a LAWS specification into a validated library.
@@ -238,19 +295,60 @@ type Config struct {
 	DisableOCR bool
 	// PurgeOnCommit broadcasts purge notes in distributed control.
 	PurgeOnCommit bool
+	// DB persists instance state for the central architecture's engine,
+	// enabling crash recovery (see NewMemoryDB). Ignored by the others.
+	DB *DB
+	// DBs gives each node of the parallel (per engine) or distributed (per
+	// agent) architecture its own database. Length must match the node
+	// count. Ignored by the central architecture.
+	DBs []*DB
 	// Logf receives diagnostics; defaults to the standard logger.
 	Logf func(format string, args ...any)
 }
 
+// Validate checks the configuration without building anything. NewSystem
+// calls it first, so a deployment can pre-flight a Config (e.g. one decoded
+// from user input) and get the same errors without side effects.
+func (cfg *Config) Validate() error {
+	if cfg.Library == nil {
+		return fmt.Errorf("crew: Config.Library is required")
+	}
+	if cfg.Programs == nil {
+		return fmt.Errorf("crew: Config.Programs is required")
+	}
+	switch cfg.Architecture {
+	case Central, Parallel, Distributed:
+	default:
+		return fmt.Errorf("crew: unknown architecture %v", cfg.Architecture)
+	}
+	if cfg.Engines < 0 {
+		return fmt.Errorf("crew: Config.Engines must not be negative")
+	}
+	if cfg.Architecture == Central && len(cfg.DBs) > 0 {
+		return fmt.Errorf("crew: the central architecture takes Config.DB, not DBs")
+	}
+	return cfg.Library.Validate()
+}
+
 // System is a running workflow management system. All three architectures
-// implement it identically.
+// implement it identically. The context-aware calls fail fast with ErrClosed
+// after Close and report expired wait deadlines as ErrTimeout; the
+// duration-based calls are thin wrappers over them.
 type System interface {
 	// Start launches an instance and returns its ID.
 	Start(workflow string, inputs map[string]Value) (int, error)
+	// StartCtx launches an instance; ctx gates only the request's admission,
+	// a started instance keeps running after ctx is cancelled.
+	StartCtx(ctx context.Context, workflow string, inputs map[string]Value) (int, error)
 	// Run starts an instance and waits for its terminal status.
 	Run(workflow string, inputs map[string]Value, timeout time.Duration) (int, Status, error)
+	// RunCtx starts an instance and waits for its terminal status under ctx.
+	RunCtx(ctx context.Context, workflow string, inputs map[string]Value) (int, Status, error)
 	// Wait blocks until the instance terminates.
 	Wait(workflow string, id int, timeout time.Duration) (Status, error)
+	// WaitCtx blocks until the instance terminates or ctx ends; a deadline
+	// expiry is reported as ErrTimeout.
+	WaitCtx(ctx context.Context, workflow string, id int) (Status, error)
 	// Abort requests a user-initiated abort.
 	Abort(workflow string, id int) error
 	// ChangeInputs applies user-initiated workflow input changes.
@@ -271,23 +369,93 @@ var (
 	_ System = (*distributed.System)(nil)
 )
 
+// Option customizes a deployment built by NewSystem beyond its Config.
+type Option func(*options)
+
+type options struct {
+	faults *FaultPlan
+}
+
+// WithFaults arms a deterministic fault-injection plan on the deployment:
+// scheduled node crashes and recoveries (driving the engines' halt/rebuild
+// recovery), per-link message drops and delays, and seeded transient step
+// failures. The same seed and plan reproduce the same fault schedule. The
+// plan is validated by NewSystem.
+func WithFaults(plan FaultPlan) Option {
+	p := plan
+	return func(o *options) { o.faults = &p }
+}
+
+// faultable is the architecture-facade surface fault injection needs; all
+// three architectures implement it.
+type faultable interface {
+	System
+	Network() *transport.Network
+	HaltNode(name string)
+	RestartNode(name string)
+}
+
+var (
+	_ faultable = (*central.System)(nil)
+	_ faultable = (*parallel.System)(nil)
+	_ faultable = (*distributed.System)(nil)
+)
+
+// faultedSystem stops the injector when the deployment closes.
+type faultedSystem struct {
+	faultable
+	inj *faults.Injector
+}
+
+func (f *faultedSystem) Close() {
+	f.inj.Stop()
+	f.faultable.Close()
+}
+
 // NewSystem builds and starts a deployment of the configured architecture.
-func NewSystem(cfg Config) (System, error) {
-	if cfg.Library == nil {
-		return nil, errors.New("crew: Config.Library is required")
+func NewSystem(cfg Config, opts ...Option) (System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Programs == nil {
-		return nil, errors.New("crew: Config.Programs is required")
+	var o options
+	for _, opt := range opts {
+		opt(&o)
 	}
 	if cfg.Collector == nil {
 		cfg.Collector = metrics.NewCollector()
 	}
+	programs := cfg.Programs
+	if o.faults != nil {
+		if err := o.faults.Validate(); err != nil {
+			return nil, fmt.Errorf("crew: fault plan: %v", err)
+		}
+		programs = faults.WrapFlaky(programs, o.faults.Seed, o.faults.StepFailRate)
+	}
+	sys, err := newArchSystem(cfg, programs)
+	if err != nil {
+		return nil, err
+	}
+	if o.faults == nil {
+		return sys, nil
+	}
+	inj, err := faults.NewInjector(*o.faults, cfg.Collector)
+	if err != nil {
+		sys.Close()
+		return nil, fmt.Errorf("crew: fault plan: %v", err)
+	}
+	inj.SetHooks(sys)
+	inj.Attach(sys.Network())
+	return &faultedSystem{faultable: sys, inj: inj}, nil
+}
+
+func newArchSystem(cfg Config, programs *Registry) (faultable, error) {
 	switch cfg.Architecture {
 	case Central:
 		return central.NewSystem(central.SystemConfig{
 			Library:    cfg.Library,
-			Programs:   cfg.Programs,
+			Programs:   programs,
 			Collector:  cfg.Collector,
+			DB:         cfg.DB,
 			Agents:     cfg.Agents,
 			DisableOCR: cfg.DisableOCR,
 			Logf:       cfg.Logf,
@@ -299,19 +467,21 @@ func NewSystem(cfg Config) (System, error) {
 		}
 		return parallel.NewSystem(parallel.SystemConfig{
 			Library:    cfg.Library,
-			Programs:   cfg.Programs,
+			Programs:   programs,
 			Collector:  cfg.Collector,
 			Engines:    engines,
 			Agents:     cfg.Agents,
+			DBs:        cfg.DBs,
 			DisableOCR: cfg.DisableOCR,
 			Logf:       cfg.Logf,
 		})
 	case Distributed:
 		return distributed.NewSystem(distributed.SystemConfig{
 			Library:       cfg.Library,
-			Programs:      cfg.Programs,
+			Programs:      programs,
 			Collector:     cfg.Collector,
 			Agents:        cfg.Agents,
+			AGDBs:         cfg.DBs,
 			DisableOCR:    cfg.DisableOCR,
 			PurgeOnCommit: cfg.PurgeOnCommit,
 			Logf:          cfg.Logf,

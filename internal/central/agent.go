@@ -81,6 +81,7 @@ func (a *Agent) handleExec(req ExecRequest) {
 		Instance: req.Instance,
 		Step:     req.Step,
 		Mode:     req.Mode,
+		Attempt:  req.Attempt,
 	}
 	prog, ok := a.programs.Lookup(req.Program)
 	if !ok {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"crew/internal/cerrors"
 	"crew/internal/coord"
 	"crew/internal/event"
 	"crew/internal/expr"
@@ -54,7 +55,6 @@ type instState struct {
 	recovery metrics.Mechanism // Normal when not recovering
 
 	dispatched   map[model.StepID]bool
-	staleDrops   map[model.StepID]int
 	coordPending map[model.StepID]bool
 	// coordWaits holds the latest coordination wait-event list per step;
 	// coordBlocked marks steps whose rule fired but whose coordination
@@ -107,6 +107,14 @@ type Engine struct {
 	waiters   map[string][]chan wfdb.Status
 
 	coordSteps map[model.StepRef]bool
+
+	// halted marks a simulated engine-process crash: volatile state has been
+	// discarded and not yet rebuilt. Messages that reference unknown
+	// instances while halted are stashed in orphans and replayed after
+	// Restart rebuilds the instance table (a message can slip past the
+	// transport-level crash into the engine loop during the crash window).
+	halted  bool
+	orphans []func()
 }
 
 // NewEngine registers the engine on the network and starts its goroutine.
@@ -241,14 +249,15 @@ func (e *Engine) addLoad(m metrics.Mechanism, units int64) {
 // ---------------------------------------------------------------------------
 // Public API (thread-safe)
 
-// ErrUnknownWorkflow reports an unknown class name.
-var ErrUnknownWorkflow = errors.New("central: unknown workflow class")
+// ErrUnknownWorkflow reports an unknown class name. It aliases the shared
+// sentinel so errors.Is matches across architectures.
+var ErrUnknownWorkflow = cerrors.ErrUnknownWorkflow
 
 // ErrUnknownInstance reports an unknown instance.
-var ErrUnknownInstance = errors.New("central: unknown instance")
+var ErrUnknownInstance = cerrors.ErrUnknownInstance
 
 // ErrNotRunning reports an operation on a committed/aborted instance.
-var ErrNotRunning = errors.New("central: instance is not running")
+var ErrNotRunning = cerrors.ErrNotRunning
 
 // Start creates and launches a new instance, returning its ID.
 func (e *Engine) Start(workflow string, inputs map[string]expr.Value) (int, error) {
@@ -437,7 +446,6 @@ func (e *Engine) recoverLocked() (int, error) {
 			rules:        rules.NewEngine(),
 			recovery:     metrics.Normal,
 			dispatched:   make(map[model.StepID]bool),
-			staleDrops:   make(map[model.StepID]int),
 			coordPending: make(map[model.StepID]bool),
 			coordWaits:   make(map[model.StepID][]string),
 			coordBlocked: make(map[model.StepID]bool),
@@ -451,9 +459,191 @@ func (e *Engine) recoverLocked() (int, error) {
 		}
 		resumed++
 		e.addLoad(metrics.Normal, 1)
-		e.evaluate(st)
+		// A compensation in flight at the crash is lost with the old engine;
+		// re-queue it for dispatch (compensations tolerate at-least-once).
+		e.rebuildChains(st, false)
+		e.resumeInstance(st)
 	}
 	return resumed, nil
+}
+
+// Halt simulates an engine-process crash: all volatile state — the instance
+// table, dispatch bookkeeping, compensation chains, the agent-load cache — is
+// discarded. The WFDB and the transport's persistent queues survive (parking
+// undelivered messages is Network.Crash's job). Waiter channels and the ID
+// counters are harness-side state and survive too. No-op without a database
+// or when already halted.
+func (e *Engine) Halt() {
+	e.DoAsync(func() {
+		if e.cfg.DB == nil || e.halted {
+			return
+		}
+		e.halted = true
+		e.instances = make(map[string]*instState)
+		e.loads = make(map[string]int64)
+	})
+}
+
+// Restart rebuilds volatile state from the WFDB after Halt, trusting the
+// persistent queues (paper §2's recovery contract): a step recorded as
+// executing or compensating has its request or result parked in a queue, so
+// the rebuilt instance awaits that result rather than redispatching —
+// compensations therefore run at most once per write-ahead record. Messages
+// that arrived during the halt window are replayed afterwards.
+func (e *Engine) Restart() {
+	e.DoAsync(func() {
+		if !e.halted {
+			return
+		}
+		e.restartLocked()
+		e.halted = false
+		orphans := e.orphans
+		e.orphans = nil
+		for _, f := range orphans {
+			f()
+		}
+	})
+}
+
+func (e *Engine) restartLocked() {
+	var rebuilt []*instState
+	for _, key := range e.cfg.DB.InstanceKeys() {
+		workflow, id, err := wfdb.ParseInstanceKey(key)
+		if err != nil {
+			e.logf("restart: %v", err)
+			continue
+		}
+		if _, live := e.instances[key]; live {
+			continue
+		}
+		ins, ok, err := e.cfg.DB.LoadInstance(workflow, id)
+		if err != nil || !ok {
+			if err != nil {
+				e.logf("restart %s: %v", key, err)
+			}
+			continue
+		}
+		if ins.Status != wfdb.Running {
+			continue
+		}
+		schema := e.cfg.Library.Schema(workflow)
+		if schema == nil {
+			e.logf("restart %s: unknown workflow class", key)
+			continue
+		}
+		st := &instState{
+			ins:          ins,
+			schema:       schema,
+			rules:        rules.NewEngine(),
+			recovery:     metrics.Normal,
+			dispatched:   make(map[model.StepID]bool),
+			coordPending: make(map[model.StepID]bool),
+			coordWaits:   make(map[model.StepID][]string),
+			coordBlocked: make(map[model.StepID]bool),
+			rollbacks:    make(map[model.StepID]int),
+			childOf:      make(map[model.StepID]int),
+		}
+		rules.InstallSchemaRules(st.rules, schema)
+		// In-flight dispatches survive in the queues: await their results.
+		for sid, rec := range ins.Steps {
+			if rec.Status == wfdb.StepExecuting {
+				st.dispatched[sid] = true
+			}
+		}
+		e.rebuildChains(st, true)
+		e.instances[key] = st
+		if id > e.nextID[workflow] {
+			e.nextID[workflow] = id
+		}
+		e.addLoad(metrics.Failure, 1) // recovery bookkeeping
+		rebuilt = append(rebuilt, st)
+	}
+	if e.cfg.Collector != nil {
+		e.cfg.Collector.AddSurvived(int64(len(rebuilt)))
+	}
+	// Resume only after every instance is registered: nested children finish
+	// into their parent, coordination may cross instances.
+	for _, st := range rebuilt {
+		e.resumeInstance(st)
+	}
+}
+
+// resumeInstance restarts navigation on a rebuilt instance.
+func (e *Engine) resumeInstance(st *instState) {
+	if st.aborting {
+		e.pumpChain(st)
+		return
+	}
+	e.evaluate(st)
+	if !st.chainActive && len(st.chain) > 0 {
+		e.pumpChain(st)
+	}
+}
+
+// rebuildChains reconstructs compensation-chain state from the persisted
+// instance. With trustQueues (warm restart over reliable queues) a step
+// recorded StepCompensating has its compensation request or result still in a
+// queue, so it becomes the active pending task and is NOT re-dispatched;
+// without (cold recovery, queues lost) the task is re-queued for dispatch.
+// An instance flagged Aborting gets its abort chain rebuilt the same way
+// abortInstance builds it, minus steps already compensated or in flight.
+func (e *Engine) rebuildChains(st *instState, trustQueues bool) {
+	for _, sid := range st.schema.Order {
+		rec := st.ins.Steps[sid]
+		if rec == nil || rec.Status != wfdb.StepCompensating {
+			continue
+		}
+		mode := rec.CompMode
+		if mode != model.ModeCompensate && mode != model.ModePartialComp {
+			mode = model.ModeCompensate
+		}
+		task := chainTask{step: sid, mode: mode}
+		if mode == model.ModePartialComp {
+			// The partial compensation's re-execution plan is implied by its
+			// mode; a complete-CR chain's plan is instead recovered by rule
+			// re-arming (see onCompResult).
+			task.then = &execPlan{step: sid, mode: model.ModeIncremental}
+		}
+		if trustQueues && !st.chainActive {
+			t := task
+			st.chainActive = true
+			st.pendingChain = &t
+		} else {
+			st.chain = append(st.chain, task)
+		}
+	}
+	if !st.ins.Aborting {
+		return
+	}
+	st.aborting = true
+	st.abortCause = metrics.Abort
+	var candidates []model.StepID
+	if len(st.schema.AbortCompensate) > 0 {
+		candidates = st.schema.AbortCompensate
+	} else {
+		for _, id := range st.schema.Order {
+			if st.schema.Steps[id].Compensable() {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	ordered := st.ins.ResultMembersInOrder(candidates)
+	for i := len(ordered) - 1; i >= 0; i-- {
+		sid := ordered[i]
+		if st.pendingChain != nil && st.pendingChain.step == sid {
+			continue
+		}
+		dup := false
+		for _, t := range st.chain {
+			if t.step == sid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			st.chain = append(st.chain, chainTask{step: sid, mode: model.ModeCompensate})
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -482,7 +672,6 @@ func (e *Engine) startLocked(workflow string, id int, inputs map[string]expr.Val
 		rules:        rules.NewEngine(),
 		recovery:     metrics.Normal,
 		dispatched:   make(map[model.StepID]bool),
-		staleDrops:   make(map[model.StepID]int),
 		coordPending: make(map[model.StepID]bool),
 		coordWaits:   make(map[model.StepID][]string),
 		coordBlocked: make(map[model.StepID]bool),
@@ -498,6 +687,9 @@ func (e *Engine) startLocked(workflow string, id int, inputs map[string]expr.Val
 		}
 	}
 	ins.Events.Post(event.WorkflowStartName)
+	// Persist before navigating: an acknowledged start must survive a crash
+	// even if the first dispatch has not happened yet (coordination blocks).
+	e.persist(st)
 	e.evaluate(st)
 	return id, nil
 }
@@ -605,7 +797,7 @@ func (e *Engine) maybeExecute(st *instState, step model.StepID) bool {
 		return false
 	}
 	rec := st.ins.Steps[step]
-	if rec != nil && rec.Status == wfdb.StepExecuting {
+	if rec != nil && (rec.Status == wfdb.StepExecuting || rec.Status == wfdb.StepCompensating) {
 		return false
 	}
 	s := st.schema.Steps[step]
@@ -760,6 +952,9 @@ func (e *Engine) dispatchStep(st *instState, step model.StepID, mode model.ExecM
 	}
 	st.ins.RecordExecuting(step, agent, inputs)
 	st.dispatched[step] = true
+	// Write-ahead: a restart must know this attempt's request (or result) is
+	// in a persistent queue, so it awaits the result instead of redispatching.
+	e.persist(st)
 	e.loads[agent]++ // optimistic cache update
 	e.send(agent, mech, KindStepExecute, ExecRequest{
 		Workflow:  st.ins.Workflow,
@@ -802,6 +997,9 @@ func (e *Engine) send(to string, mech metrics.Mechanism, kind string, payload an
 func (e *Engine) onExecResponse(r ExecResponse) {
 	st := e.instances[wfdb.InstanceKeyOf(r.Workflow, r.Instance)]
 	if st == nil {
+		if e.halted {
+			e.orphans = append(e.orphans, func() { e.onExecResponse(r) })
+		}
 		return
 	}
 	switch r.Mode {
@@ -813,8 +1011,16 @@ func (e *Engine) onExecResponse(r ExecResponse) {
 }
 
 func (e *Engine) onStepResult(st *instState, r ExecResponse) {
-	if st.staleDrops[r.Step] > 0 {
-		st.staleDrops[r.Step]--
+	// The attempt number identifies the dispatch a result answers
+	// (RecordExecuting increments it, and the agent echoes it). Only the
+	// newest dispatch's result is live; anything else — an older attempt
+	// overtaken by a rollback's re-dispatch, a result for a step that was
+	// reset and not re-dispatched, or a stray from before an engine restart
+	// — is dropped here. Counting expected drops instead (the previous
+	// scheme) is unsound when results arrive out of order from different
+	// agents: the counter can eat the live result and process a stale one.
+	rec := st.ins.Steps[r.Step]
+	if rec == nil || r.Attempt != rec.Attempts || !st.dispatched[r.Step] {
 		return
 	}
 	st.dispatched[r.Step] = false
@@ -904,10 +1110,9 @@ func (e *Engine) clearMutexGrants(st *instState, step model.StepID) {
 
 func (e *Engine) resetDispatchState(st *instState, steps []model.StepID) {
 	for _, id := range steps {
-		if st.dispatched[id] {
-			st.staleDrops[id]++
-			st.dispatched[id] = false
-		}
+		// An in-flight result becomes stale: it no longer matches the step's
+		// dispatched state (and a re-dispatch bumps the attempt number).
+		st.dispatched[id] = false
 		delete(st.coordWaits, id)
 		st.coordBlocked[id] = false
 		st.coordPending[id] = false
@@ -952,6 +1157,10 @@ func (e *Engine) rollbackTo(st *instState, origin model.StepID, cause metrics.Me
 // applyRollbackOrder enforces a rollback dependency on this engine's running
 // instances of the target class.
 func (e *Engine) applyRollbackOrder(ord coord.RollbackOrder) {
+	if e.halted {
+		e.orphans = append(e.orphans, func() { e.applyRollbackOrder(ord) })
+		return
+	}
 	for _, st := range e.instances {
 		if st.ins.Workflow != ord.TargetWorkflow || st.ins.Status != wfdb.Running || st.aborting {
 			continue
@@ -1019,6 +1228,11 @@ func (e *Engine) pumpChain(st *instState) {
 		}
 		st.chainActive = true
 		st.pendingChain = &task
+		// Write-ahead: mark the step compensating (with its mode) so a
+		// restart rebuilds this pending task and never dispatches the
+		// compensation a second time.
+		st.ins.RecordCompensating(task.step, task.mode)
+		e.persist(st)
 		e.addLoad(mech, 1)
 		e.send(agent, mech, KindStepCompensate, ExecRequest{
 			Workflow:  st.ins.Workflow,
@@ -1059,6 +1273,16 @@ func (e *Engine) onCompResult(st *instState, r ExecResponse) {
 	}
 	e.persist(st)
 	e.finishChainTask(st, *task)
+	// A restart while this compensation was in flight loses the re-execution
+	// plan attached to the chain (only the compensating step itself is
+	// persisted). Re-arm the step's execution rule and re-evaluate: if the
+	// revisit that queued this chain is still due, OCR re-decides it; in
+	// normal operation the rule's events/conditions no longer hold (or the
+	// step is already dispatched), so this is a no-op.
+	if st.ins.Status == wfdb.Running && !st.aborting {
+		st.rules.RearmWhere(func(id string) bool { return rules.IsExecRuleFor(id, r.Step) })
+		e.evaluate(st)
+	}
 }
 
 func (e *Engine) finishChainTask(st *instState, task chainTask) {
@@ -1085,6 +1309,10 @@ func (e *Engine) abortInstance(st *instState, cause metrics.Mechanism) {
 	if st.abortCause == metrics.Normal {
 		st.abortCause = metrics.Abort
 	}
+	// Write-ahead: an acknowledged abort must survive a crash; a restart
+	// rebuilds the compensation chain from this flag.
+	st.ins.Aborting = true
+	e.persist(st)
 	// Drop any queued chain work; abort compensation takes over.
 	st.chain = nil
 
@@ -1174,6 +1402,7 @@ func (e *Engine) startNested(st *instState, step model.StepID, inputs map[string
 	}
 	st.ins.RecordExecuting(step, e.cfg.Name, inputs)
 	st.dispatched[step] = true
+	e.persist(st)
 	id, err := e.startLocked(s.Nested, 0, childInputs, &wfdb.ParentRef{
 		Workflow: st.ins.Workflow,
 		ID:       st.ins.ID,
@@ -1232,6 +1461,9 @@ func (e *Engine) persist(st *instState) {
 func (e *Engine) injectLocal(target coord.InstanceRef, eventName string) {
 	st := e.instances[wfdb.InstanceKeyOf(target.Workflow, target.ID)]
 	if st == nil {
+		if e.halted {
+			e.orphans = append(e.orphans, func() { e.injectLocal(target, eventName) })
+		}
 		return
 	}
 	e.addLoad(metrics.Coordination, 1)
@@ -1253,6 +1485,9 @@ func (e *Engine) retryBlocked(st *instState) {
 func (e *Engine) coordResolved(inst coord.InstanceRef, step model.StepID, waitEvents []string) {
 	st := e.instances[wfdb.InstanceKeyOf(inst.Workflow, inst.ID)]
 	if st == nil {
+		if e.halted {
+			e.orphans = append(e.orphans, func() { e.coordResolved(inst, step, waitEvents) })
+		}
 		return
 	}
 	st.coordPending[step] = false

@@ -40,9 +40,13 @@ type ExecResponse struct {
 	Instance int
 	Step     model.StepID
 	Mode     model.ExecMode
-	Outputs  map[string]expr.Value
-	Failed   bool
-	Reason   string
+	// Attempt echoes the request's attempt number, letting the engine
+	// discard results of superseded dispatches (after a loop-back reset or
+	// an engine restart) instead of relying on volatile bookkeeping.
+	Attempt int
+	Outputs map[string]expr.Value
+	Failed  bool
+	Reason  string
 }
 
 // StateRequest probes an agent's state (the StateInformation() WI); the

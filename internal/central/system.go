@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"crew/internal/cerrors"
 	"crew/internal/coord"
 	"crew/internal/expr"
 	"crew/internal/metrics"
@@ -37,6 +39,7 @@ type System struct {
 	net    *transport.Network
 	agents []*Agent
 	col    *metrics.Collector
+	closed atomic.Bool
 }
 
 // NewSystem builds and starts a centralized deployment.
@@ -101,7 +104,31 @@ func (s *System) Network() *transport.Network { return s.net }
 
 // Start launches an instance and returns its ID.
 func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	return s.StartCtx(context.Background(), workflow, inputs)
+}
+
+// StartCtx launches an instance and returns its ID. The context gates only
+// the admission of the request; a started instance keeps running after ctx
+// is cancelled.
+func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, error) {
+	if err := s.admit(ctx, workflow); err != nil {
+		return 0, err
+	}
 	return s.Engine.Start(workflow, inputs)
+}
+
+// admit performs the shared pre-flight checks of context-aware calls.
+func (s *System) admit(ctx context.Context, workflow string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("central: %w", cerrors.ErrClosed)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workflow != "" && s.Engine.cfg.Library.Schema(workflow) == nil {
+		return fmt.Errorf("central: %w: %q", cerrors.ErrUnknownWorkflow, workflow)
+	}
+	return nil
 }
 
 // StartSeq launches an instance under an externally assigned ID. The global
@@ -116,23 +143,47 @@ func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.V
 // processed anywhere in the deployment.
 func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
 
-// Run starts an instance and waits for its terminal status.
+// Run starts an instance and waits for its terminal status. It wraps RunCtx
+// with a deadline context.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
-	id, err := s.Start(workflow, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.RunCtx(ctx, workflow, inputs)
+}
+
+// RunCtx starts an instance and waits for its terminal status under ctx.
+func (s *System) RunCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, wfdb.Status, error) {
+	id, err := s.StartCtx(ctx, workflow, inputs)
 	if err != nil {
 		return 0, 0, err
 	}
-	st, err := s.Wait(workflow, id, timeout)
+	st, err := s.WaitCtx(ctx, workflow, id)
 	return id, st, err
 }
 
-// Wait blocks until the instance reaches a terminal status.
+// Wait blocks until the instance reaches a terminal status. It wraps WaitCtx
+// with a deadline context; the deadline surfaces as cerrors.ErrTimeout.
 func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.WaitCtx(ctx, workflow, id)
+}
+
+// WaitCtx blocks until the instance reaches a terminal status or ctx ends.
+// A deadline expiry is reported as cerrors.ErrTimeout (errors.Is-matchable);
+// a plain cancellation as ctx.Err().
+func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
+	if err := s.admit(ctx, ""); err != nil {
+		return 0, err
+	}
 	select {
 	case st := <-s.Engine.WaitChan(workflow, id):
 		return st, nil
-	case <-time.After(timeout):
-		return 0, fmt.Errorf("central: timeout waiting for %s.%d", workflow, id)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return 0, fmt.Errorf("central: %w: %s.%d", cerrors.ErrTimeout, workflow, id)
+		}
+		return 0, ctx.Err()
 	}
 }
 
@@ -154,13 +205,37 @@ func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 	return s.Engine.Snapshot(workflow, id)
 }
 
-// Close shuts the deployment down. The System must not be used afterwards.
+// Close shuts the deployment down. Later context-aware calls fail with
+// cerrors.ErrClosed.
 func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
 	s.net.Close()
 	s.Engine.Stop()
 	for _, a := range s.agents {
 		a.Stop()
 	}
+}
+
+// HaltNode simulates a process crash of a named node. For the engine this
+// discards its volatile state (RestartNode rebuilds it from the WFDB); for
+// agents — which are stateless — and unknown names it only parks the node's
+// transport queue.
+func (s *System) HaltNode(name string) {
+	s.net.Crash(name)
+	if name == s.Engine.Name() {
+		s.Engine.Halt()
+	}
+}
+
+// RestartNode recovers a node halted by HaltNode: the engine rebuilds from
+// the WFDB, the transport delivers the messages parked while it was down.
+func (s *System) RestartNode(name string) {
+	if name == s.Engine.Name() {
+		s.Engine.Restart()
+	}
+	s.net.Recover(name)
 }
 
 // Recover resumes running instances persisted in the system's database — the

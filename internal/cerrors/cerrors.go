@@ -1,0 +1,26 @@
+// Package cerrors defines the sentinel errors shared by every architecture's
+// public surface. The three control architectures (centralized, parallel,
+// distributed) return these values — usually wrapped with %w and call-site
+// context — so callers can match failure classes with errors.Is without
+// caring which architecture is deployed. The root crew package re-exports
+// them as its public error API.
+package cerrors
+
+import "errors"
+
+var (
+	// ErrUnknownWorkflow reports a workflow class name absent from the
+	// deployed library.
+	ErrUnknownWorkflow = errors.New("unknown workflow class")
+	// ErrUnknownInstance reports a workflow instance that was never started
+	// on this deployment.
+	ErrUnknownInstance = errors.New("unknown workflow instance")
+	// ErrNotRunning reports an operation (abort, input change) against an
+	// instance that already reached a terminal status.
+	ErrNotRunning = errors.New("instance is not running")
+	// ErrTimeout reports that a wait's deadline elapsed before the instance
+	// reached a terminal status.
+	ErrTimeout = errors.New("timed out waiting for instance")
+	// ErrClosed reports an operation on a closed system.
+	ErrClosed = errors.New("system is closed")
+)

@@ -1287,6 +1287,7 @@ func (a *Agent) sweep() {
 		if r.ins.Status != wfdb.Running || r.purged {
 			continue
 		}
+		a.rearmUnexecuted(r)
 		a.evaluate(r)
 		a.recheckCoordination(r)
 		if now.Sub(r.lastReport) >= a.cfg.StatusPollAge {
@@ -1295,6 +1296,32 @@ func (a *Agent) sweep() {
 		}
 		a.pollOverdueRules(r, now)
 	}
+}
+
+// rearmUnexecuted re-arms the execution rules of steps that never started
+// executing anywhere this agent can see. Rules are edge-triggered, and the
+// executor election is alive-aware: a rule firing consumed while another
+// agent transiently won the election (crash windows flip the winner, and
+// recovery flips it back) is otherwise lost for good — every agent's gate
+// says "not my step" exactly when its rule fires, and no one ever executes
+// it. Re-arming from the sweep lets the eventual winner retry; the election
+// gate, the executing guard and the coordination dedup keep the retries
+// idempotent for everyone else. Steps with failure or compensation state are
+// left to the rollback path, which re-arms what it re-executes.
+func (a *Agent) rearmUnexecuted(r *replica) {
+	r.rules.RearmWhere(func(id string) bool {
+		for _, sid := range r.schema.Order {
+			if !rules.IsExecRuleFor(id, sid) {
+				continue
+			}
+			if r.executing[sid] {
+				return false
+			}
+			rec := r.ins.Steps[sid]
+			return rec == nil || (rec.Status == wfdb.StepPending && !rec.HasResult)
+		}
+		return false
+	})
 }
 
 // recheckCoordination re-runs the coordination gate for blocked steps. A

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"crew/internal/cerrors"
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
@@ -45,6 +47,15 @@ type System struct {
 
 	mu     sync.Mutex
 	nextID map[string]int
+	// coordName remembers the coordination agent elected when an instance
+	// started. Later operations (Wait, Abort, Status, ...) must route to that
+	// same agent: re-electing with a liveness filter while the coordinator is
+	// crashed would silently address a different agent, which never learns
+	// the instance's fate. A crashed coordinator is reachable for local
+	// subscription, and its parked protocol traffic drains on recovery.
+	coordName map[string]string
+
+	closed atomic.Bool
 }
 
 // NewSystem builds and starts a distributed deployment.
@@ -71,12 +82,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 
 	net := transport.New(cfg.Collector)
 	sys := &System{
-		net:    net,
-		agents: make(map[string]*Agent, len(names)),
-		names:  append([]string(nil), names...),
-		lib:    cfg.Library,
-		col:    cfg.Collector,
-		nextID: make(map[string]int),
+		net:       net,
+		agents:    make(map[string]*Agent, len(names)),
+		names:     append([]string(nil), names...),
+		lib:       cfg.Library,
+		col:       cfg.Collector,
+		nextID:    make(map[string]int),
+		coordName: make(map[string]string),
 	}
 	for i, name := range names {
 		var db *wfdb.DB
@@ -118,12 +130,27 @@ func (s *System) Agent(name string) *Agent { return s.agents[name] }
 // AgentNames returns the deployment's agent names.
 func (s *System) AgentNames() []string { return append([]string(nil), s.names...) }
 
-// coordinationAgent computes the coordination agent of an instance: the
-// elected executor of the schema's first start step.
+// coordinationAgent returns the coordination agent of an instance: the one
+// remembered from its start, or (for instances this front end did not start)
+// the elected executor of the schema's first start step.
 func (s *System) coordinationAgent(workflow string, id int) (*Agent, error) {
+	s.mu.Lock()
+	name, known := s.coordName[wfdb.InstanceKeyOf(workflow, id)]
+	s.mu.Unlock()
+	if known {
+		if ag, ok := s.agents[name]; ok {
+			return ag, nil
+		}
+	}
+	return s.electCoordinator(workflow, id)
+}
+
+// electCoordinator elects the coordination agent among the currently alive
+// eligible agents and remembers the choice for the instance's lifetime.
+func (s *System) electCoordinator(workflow string, id int) (*Agent, error) {
 	schema := s.lib.Schema(workflow)
 	if schema == nil {
-		return nil, fmt.Errorf("distributed: unknown workflow class %q", workflow)
+		return nil, fmt.Errorf("distributed: %w: %q", cerrors.ErrUnknownWorkflow, workflow)
 	}
 	starts := schema.StartSteps()
 	if len(starts) == 0 {
@@ -142,11 +169,38 @@ func (s *System) coordinationAgent(workflow string, id int) (*Agent, error) {
 	if !ok {
 		return nil, fmt.Errorf("distributed: elected unknown agent %q", name)
 	}
+	s.mu.Lock()
+	s.coordName[wfdb.InstanceKeyOf(workflow, id)] = name
+	s.mu.Unlock()
 	return ag, nil
+}
+
+// admit performs the shared pre-flight checks of context-aware calls.
+func (s *System) admit(ctx context.Context, workflow string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("distributed: %w", cerrors.ErrClosed)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workflow != "" && s.lib.Schema(workflow) == nil {
+		return fmt.Errorf("distributed: %w: %q", cerrors.ErrUnknownWorkflow, workflow)
+	}
+	return nil
 }
 
 // Start launches an instance via its coordination agent's WorkflowStart WI.
 func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	return s.StartCtx(context.Background(), workflow, inputs)
+}
+
+// StartCtx launches an instance via its coordination agent's WorkflowStart
+// WI. The context gates only the admission of the request; a started instance
+// keeps running after ctx is cancelled.
+func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, error) {
+	if err := s.admit(ctx, workflow); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	s.nextID[workflow]++
 	id := s.nextID[workflow]
@@ -182,29 +236,73 @@ func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.V
 // processed anywhere in the deployment.
 func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
 
-// Run starts an instance and waits for its terminal status.
+// Run starts an instance and waits for its terminal status. It wraps RunCtx
+// with a deadline context.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
-	id, err := s.Start(workflow, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.RunCtx(ctx, workflow, inputs)
+}
+
+// RunCtx starts an instance and waits for its terminal status under ctx.
+func (s *System) RunCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, wfdb.Status, error) {
+	id, err := s.StartCtx(ctx, workflow, inputs)
 	if err != nil {
 		return 0, 0, err
 	}
-	st, err := s.Wait(workflow, id, timeout)
+	st, err := s.WaitCtx(ctx, workflow, id)
 	return id, st, err
 }
 
-// Wait blocks until the instance terminates (subscribing at the
-// coordination agent).
+// Wait blocks until the instance terminates (subscribing at the coordination
+// agent). It wraps WaitCtx with a deadline context; the deadline surfaces as
+// cerrors.ErrTimeout.
 func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.WaitCtx(ctx, workflow, id)
+}
+
+// WaitCtx blocks until the instance terminates or ctx ends. A deadline expiry
+// is reported as cerrors.ErrTimeout (errors.Is-matchable); a plain
+// cancellation as ctx.Err(). An expired ctx wins even when the terminal
+// status lands at the same instant, so the deadline contract is deterministic.
+func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
+	if err := s.admit(ctx, ""); err != nil {
+		return 0, err
+	}
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return 0, err
 	}
+	// Subscribing runs on the agent goroutine, which may be busy executing a
+	// step program; do it asynchronously so ctx can interrupt the wait for
+	// the subscription itself.
+	sub := make(chan (<-chan wfdb.Status), 1)
+	go func() { sub <- ag.WaitChan(workflow, id) }()
+	var ch <-chan wfdb.Status
 	select {
-	case st := <-ag.WaitChan(workflow, id):
-		return st, nil
-	case <-time.After(timeout):
-		return 0, fmt.Errorf("distributed: timeout waiting for %s.%d", workflow, id)
+	case ch = <-sub:
+	case <-ctx.Done():
+		return 0, s.waitErr(ctx, workflow, id)
 	}
+	select {
+	case st := <-ch:
+		if ctx.Err() != nil {
+			return 0, s.waitErr(ctx, workflow, id)
+		}
+		return st, nil
+	case <-ctx.Done():
+		return 0, s.waitErr(ctx, workflow, id)
+	}
+}
+
+// waitErr translates a finished ctx into the Wait error contract.
+func (s *System) waitErr(ctx context.Context, workflow string, id int) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("distributed: %w: %s.%d", cerrors.ErrTimeout, workflow, id)
+	}
+	return ctx.Err()
 }
 
 // Abort requests a user abort via the WorkflowAbort WI.
@@ -252,10 +350,26 @@ func (s *System) SnapshotAt(agent, workflow string, id int) (*wfdb.Instance, boo
 	return ag.Snapshot(workflow, id)
 }
 
-// Close shuts the deployment down.
+// Close shuts the deployment down. Later context-aware calls fail with
+// cerrors.ErrClosed.
 func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
 	s.net.Close()
 	for _, a := range s.agents {
 		a.Stop()
 	}
 }
+
+// HaltNode simulates a crash of a named agent. In the distributed
+// architecture every agent replicates the coordination state of the
+// instances it touches into its AGDB, so a crash only parks the agent's
+// transport queue: undelivered messages wait, peers keep navigating, and the
+// parked traffic drains on RestartNode — the paper's persistent-queue
+// recovery contract.
+func (s *System) HaltNode(name string) { s.net.Crash(name) }
+
+// RestartNode recovers an agent halted by HaltNode, delivering the messages
+// parked while it was down.
+func (s *System) RestartNode(name string) { s.net.Recover(name) }

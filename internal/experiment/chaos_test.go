@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crew/internal/analysis"
+)
+
+func chaosParams() analysis.Parameters {
+	p := analysis.Default()
+	p.C = 2
+	p.S = 8
+	p.Z = 6
+	p.E = 2
+	p.A = 2
+	p.F = 2
+	p.R = 2
+	p.W = 2
+	p.ME, p.RO, p.RD = 1, 3, 1
+	return p
+}
+
+// TestChaosAllArchitectures injects crash/recover cycles into every
+// architecture's scheduling nodes and asserts the recovery contract: every
+// instance still reaches a terminal status and the coordination invariants
+// (mutex, relative order) hold.
+func TestChaosAllArchitectures(t *testing.T) {
+	for _, arch := range analysis.Architectures {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			m, _, err := RunChaos(ChaosOptions{
+				Arch:      arch,
+				Params:    chaosParams(),
+				Instances: 3,
+				Seed:      5,
+				Timeout:   90 * time.Second,
+				Crashes:   2,
+				FirstAt:   30,
+				Spacing:   60,
+				Downtime:  25,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.CrashesApplied < 1 {
+				t.Errorf("no crash was applied (traffic ended before the first trigger)")
+			}
+			if m.CrashesApplied != m.RecoveriesApplied {
+				t.Errorf("crashes=%d but recoveries=%d", m.CrashesApplied, m.RecoveriesApplied)
+			}
+			if len(m.NonTerminal) > 0 {
+				t.Errorf("non-terminal instances after recovery: %v", m.NonTerminal)
+			}
+			if got := m.Committed + m.Aborted; got != m.Instances {
+				t.Errorf("committed+aborted = %d, want %d", got, m.Instances)
+			}
+			for _, v := range m.MutexViolations {
+				t.Errorf("mutex violation: %s", v)
+			}
+			for _, v := range m.OrderViolations {
+				t.Errorf("order violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism runs the same seeded chaos point twice and requires
+// identical fault schedules and identical observable outcomes.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() (string, string) {
+		m, statuses, err := RunChaos(ChaosOptions{
+			Arch:      analysis.Central,
+			Params:    chaosParams(),
+			Instances: 3,
+			Seed:      7,
+			Timeout:   90 * time.Second,
+			Crashes:   2,
+			FirstAt:   30,
+			Spacing:   60,
+			Downtime:  25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CrashesApplied < 1 {
+			t.Fatal("no crash applied; the determinism check would be vacuous")
+		}
+		return m.PlanDigest(), m.OutcomeDigest(statuses)
+	}
+	plan1, out1 := run()
+	plan2, out2 := run()
+	if plan1 != plan2 {
+		t.Errorf("fault schedules differ:\n  %s\n  %s", plan1, plan2)
+	}
+	if out1 != out2 {
+		t.Errorf("outcomes differ:\n  %s\n  %s", out1, out2)
+	}
+}
+
+// TestChaosWithLinkFaults layers periodic message drops (charged as
+// retransmissions) and transient step failures on top of the crash plan.
+func TestChaosWithLinkFaults(t *testing.T) {
+	m, _, err := RunChaos(ChaosOptions{
+		Arch:         analysis.Central,
+		Params:       chaosParams(),
+		Instances:    2,
+		Seed:         11,
+		Timeout:      90 * time.Second,
+		Crashes:      1,
+		FirstAt:      30,
+		Spacing:      60,
+		Downtime:     20,
+		DropEvery:    17,
+		StepFailRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retransmits == 0 {
+		t.Error("drop fault charged no retransmissions")
+	}
+	if len(m.NonTerminal) > 0 {
+		t.Errorf("non-terminal instances: %v", m.NonTerminal)
+	}
+	if len(m.MutexViolations)+len(m.OrderViolations) > 0 {
+		t.Errorf("invariant violations: %v %v", m.MutexViolations, m.OrderViolations)
+	}
+}
+
+// TestChaosSeedStress soaks the distributed architecture — the most
+// interleaving-sensitive one — across several fault-plan seeds. Run it under
+// -race to keep the recovery paths honest.
+func TestChaosSeedStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed soak skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, _, err := RunChaos(ChaosOptions{
+				Arch:      analysis.Distributed,
+				Params:    chaosParams(),
+				Instances: 3,
+				Seed:      seed,
+				Timeout:   90 * time.Second,
+				Crashes:   3,
+				FirstAt:   25,
+				Spacing:   50,
+				Downtime:  20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.NonTerminal) > 0 {
+				t.Errorf("non-terminal instances: %v", m.NonTerminal)
+			}
+			if n := len(m.MutexViolations) + len(m.OrderViolations); n > 0 {
+				t.Errorf("invariant violations: %v %v", m.MutexViolations, m.OrderViolations)
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+// Package faults is a seeded, deterministic fault injector for the workflow
+// simulator. A Plan composes the fault classes the paper's recovery machinery
+// must tolerate — node crash/recover, per-link message drop (with
+// retransmission under the reliable transport), per-link latency, and
+// transient step-program failures — and an Injector applies the plan to a
+// running deployment through the transport's FaultPolicy hook plus
+// crash-restart hooks into the scheduling nodes.
+//
+// Determinism: a plan is a pure function of its seed and shape parameters,
+// crash/recover events trigger at fixed points of the network's logical
+// clock (the global accepted-message sequence), and drop/delay faults fire
+// on periodic per-link counters. Two runs of the same workload with the same
+// plan therefore apply the same fault schedule, even though goroutine
+// interleaving differs.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Action is what a scheduled fault event does to its node.
+type Action int
+
+const (
+	// Crash marks the node down: the transport parks its inbound messages
+	// and the node's scheduler (if any) discards volatile state.
+	Crash Action = iota
+	// Recover marks the node up again: parked messages flood in and the
+	// scheduler rebuilds volatile state from the workflow database.
+	Recover
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Event schedules a crash or recovery of one node at a point of the
+// network's logical clock.
+type Event struct {
+	Action Action
+	Node   string
+	// At is the trigger: the event fires when the network's accepted-message
+	// sequence reaches At. If the system stalls before At is reached (every
+	// in-flight message parked at a crashed node), pending Recover events
+	// fire early — the injector's stall backstop — so a plan can never
+	// deadlock a run.
+	At int64
+}
+
+// LinkFault injects periodic message-level faults on a link. From/To select
+// the link; an empty string is a wildcard. Counters are per LinkFault, so a
+// wildcard fault cycles over all matching traffic.
+type LinkFault struct {
+	From, To string
+	// DropEvery drops every k-th matching message; under the reliable
+	// transport a drop surfaces as Retransmits extra physical transmissions
+	// (default 1). 0 disables dropping.
+	DropEvery   int
+	Retransmits int
+	// DelayEvery holds every k-th matching message for Delay delivery
+	// rounds at the receiver (per-link FIFO preserved). 0 disables.
+	DelayEvery int
+	Delay      int
+}
+
+func (f *LinkFault) matches(from, to string) bool {
+	return (f.From == "" || f.From == from) && (f.To == "" || f.To == to)
+}
+
+// Plan is a composed, deterministic fault schedule.
+type Plan struct {
+	// Seed identifies the plan; generated plans derive everything from it.
+	Seed int64
+	// Events are the scheduled crashes and recoveries, sorted by At.
+	Events []Event
+	// Links are the periodic per-link drop/delay faults.
+	Links []LinkFault
+	// StepFailRate is the probability that a workload step suffers an
+	// injected transient failure on its first execution attempt (applied by
+	// WrapFlaky; retries succeed, so instances still terminate).
+	StepFailRate float64
+}
+
+// Normalize sorts the events by trigger point (stable for equal At).
+func (p *Plan) Normalize() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+}
+
+// String renders the canonical plan description. Because a generated plan is
+// a pure function of its seed, this string doubles as the fault-schedule
+// digest for determinism checks.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, ";%s %s@%d", e.Action, e.Node, e.At)
+	}
+	for _, l := range p.Links {
+		from, to := l.From, l.To
+		if from == "" {
+			from = "*"
+		}
+		if to == "" {
+			to = "*"
+		}
+		fmt.Fprintf(&b, ";link %s->%s drop/%d x%d delay/%d +%d",
+			from, to, l.DropEvery, l.Retransmits, l.DelayEvery, l.Delay)
+	}
+	if p.StepFailRate > 0 {
+		fmt.Fprintf(&b, ";sfr=%g", p.StepFailRate)
+	}
+	return b.String()
+}
+
+// Validate rejects plans that cannot be applied sensibly.
+func (p Plan) Validate() error {
+	down := make(map[string]bool)
+	var last int64
+	for i, e := range p.Events {
+		if e.Node == "" {
+			return fmt.Errorf("faults: event %d has no node", i)
+		}
+		if e.At < last {
+			return fmt.Errorf("faults: events not sorted by At (index %d); call Normalize", i)
+		}
+		last = e.At
+		switch e.Action {
+		case Crash:
+			if down[e.Node] {
+				return fmt.Errorf("faults: node %q crashed at %d while already down", e.Node, e.At)
+			}
+			down[e.Node] = true
+		case Recover:
+			if !down[e.Node] {
+				return fmt.Errorf("faults: node %q recovers at %d without a prior crash", e.Node, e.At)
+			}
+			delete(down, e.Node)
+		default:
+			return fmt.Errorf("faults: event %d has unknown action %d", i, int(e.Action))
+		}
+	}
+	for node := range down {
+		return fmt.Errorf("faults: node %q is crashed but never recovers", node)
+	}
+	for i, l := range p.Links {
+		if l.DropEvery < 0 || l.DelayEvery < 0 || l.Delay < 0 || l.Retransmits < 0 {
+			return fmt.Errorf("faults: link fault %d has negative parameters", i)
+		}
+	}
+	if p.StepFailRate < 0 || p.StepFailRate > 1 {
+		return fmt.Errorf("faults: step failure rate %g outside [0,1]", p.StepFailRate)
+	}
+	return nil
+}
+
+// hash64 derives a deterministic 64-bit value from a seed and string parts
+// (FNV-1a with a final avalanche), matching the workload generator's style of
+// seeded decisions.
+func hash64(seed int64, parts ...string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := uint64(seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	x := h.Sum64()
+	// Murmur3 finalizer for avalanche.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hash01 maps a seeded decision to [0,1).
+func hash01(seed int64, parts ...string) float64 {
+	return float64(hash64(seed, parts...)>>11) / float64(1<<53)
+}
+
+// ChaosPlan generates a deterministic crash/recover schedule: `crashes`
+// crash events spread over [firstAt, firstAt+crashes*spacing) of the
+// network's logical clock, each targeting a seed-chosen node from targets
+// and recovering `downtime` ticks later. Downtime is clamped below spacing
+// so a node is never re-crashed while still down.
+func ChaosPlan(seed int64, targets []string, crashes int, firstAt, spacing, downtime int64) Plan {
+	p := Plan{Seed: seed}
+	if len(targets) == 0 || crashes <= 0 {
+		return p
+	}
+	if spacing < 2 {
+		spacing = 2
+	}
+	if downtime < 1 {
+		downtime = 1
+	}
+	if downtime >= spacing {
+		downtime = spacing - 1
+	}
+	for i := 0; i < crashes; i++ {
+		node := targets[hash64(seed, "crash", fmt.Sprint(i))%uint64(len(targets))]
+		at := firstAt + int64(i)*spacing
+		p.Events = append(p.Events,
+			Event{Action: Crash, Node: node, At: at},
+			Event{Action: Recover, Node: node, At: at + downtime},
+		)
+	}
+	p.Normalize()
+	return p
+}

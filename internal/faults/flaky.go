@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"fmt"
+
+	"crew/internal/expr"
+	"crew/internal/model"
+)
+
+// WrapFlaky returns a registry in which every program from reg additionally
+// suffers the plan's transient step failures: a seed-chosen fraction (rate)
+// of (workflow, instance, step) triples fail their first execution attempt
+// with a model.StepFailure. Retries succeed, so the failure exercises the
+// rollback/re-execution machinery without changing an instance's final
+// outcome. Compensations are never made to fail (the paper assumes
+// compensation programs succeed).
+//
+// The decision is a pure function of (seed, workflow, instance, step), so
+// the injected failure set is identical across runs and architectures.
+func WrapFlaky(reg *model.Registry, seed int64, rate float64) *model.Registry {
+	if rate <= 0 {
+		return reg
+	}
+	out := model.NewRegistry()
+	for _, name := range reg.Names() {
+		p, _ := reg.Lookup(name)
+		out.Register(name, flaky(p, seed, rate))
+	}
+	return out
+}
+
+func flaky(inner model.Program, seed int64, rate float64) model.Program {
+	return func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		if (ctx.Mode == model.ModeExecute || ctx.Mode == model.ModeIncremental) &&
+			ctx.Attempt == 1 &&
+			hash01(seed, "flaky", ctx.Workflow, fmt.Sprint(ctx.Instance), string(ctx.Step)) < rate {
+			return nil, model.Fail("injected transient failure")
+		}
+		return inner(ctx)
+	}
+}

@@ -1,0 +1,275 @@
+package faults
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crew/internal/metrics"
+	"crew/internal/transport"
+)
+
+// NodeHooks lets the injector reach into a deployment's scheduling nodes:
+// HaltNode discards the named node's volatile state (a crash of the
+// scheduler process, not just its network link) and RestartNode rebuilds it
+// from the workflow database. Nodes without volatile scheduling state
+// (stateless agents) simply ignore both calls. Implementations must not
+// block: hooks run on whatever goroutine observed the trigger.
+type NodeHooks interface {
+	HaltNode(name string)
+	RestartNode(name string)
+}
+
+// AppliedEvent records one fault event as actually applied.
+type AppliedEvent struct {
+	Event
+	// Seq is the network logical-clock value at application time.
+	Seq int64
+	// Forced marks a Recover applied by the stall backstop (the network
+	// stalled with every in-flight message parked at a crashed node before
+	// the scheduled trigger was reached).
+	Forced bool
+}
+
+// Injector applies a Plan to one deployment. It implements
+// transport.FaultPolicy: install it with Network.SetFaultPolicy (or call
+// Attach, which also starts the stall backstop). One Injector serves one
+// Network; create a fresh one per run.
+type Injector struct {
+	plan  Plan
+	col   *metrics.Collector
+	net   *transport.Network
+	hooks NodeHooks
+
+	linkCounts []atomic.Int64
+
+	// nextAt caches the trigger of the earliest unapplied event so the
+	// per-message fast path is one atomic load.
+	nextAt atomic.Int64
+
+	mu      sync.Mutex
+	events  []Event
+	done    []bool
+	down    map[string]int64 // node -> crash seq
+	applied []AppliedEvent
+
+	eventCh chan AppliedEvent
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+const maxInt64 = int64(1<<63 - 1)
+
+// NewInjector builds an injector for plan, recording recovery metrics into
+// col (which may be nil).
+func NewInjector(plan Plan, col *metrics.Collector) (*Injector, error) {
+	plan.Normalize()
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		plan:       plan,
+		col:        col,
+		linkCounts: make([]atomic.Int64, len(plan.Links)),
+		events:     plan.Events,
+		done:       make([]bool, len(plan.Events)),
+		down:       make(map[string]int64),
+		eventCh:    make(chan AppliedEvent, 256),
+	}
+	if len(in.events) > 0 {
+		in.nextAt.Store(in.events[0].At)
+	} else {
+		in.nextAt.Store(maxInt64)
+	}
+	return in, nil
+}
+
+// Plan returns the injector's (normalized) plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// SetHooks installs the deployment's crash-restart hooks. Call before
+// Attach.
+func (in *Injector) SetHooks(h NodeHooks) { in.hooks = h }
+
+// Events exposes applied fault events as they happen, for harnesses that
+// sample system state at crash points. The channel is buffered and never
+// blocks the injector; overflow events are dropped.
+func (in *Injector) Events() <-chan AppliedEvent { return in.eventCh }
+
+// Attach installs the injector as net's fault policy and starts the stall
+// backstop. Call Stop (or close the network) to detach.
+func (in *Injector) Attach(net *transport.Network) {
+	in.net = net
+	net.SetFaultPolicy(in)
+	if len(in.events) > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		in.cancel = cancel
+		in.wg.Add(1)
+		go in.watch(ctx)
+	}
+}
+
+// Stop detaches the injector from the network and stops the stall backstop.
+func (in *Injector) Stop() {
+	if in.net != nil {
+		in.net.SetFaultPolicy(nil)
+	}
+	if in.cancel != nil {
+		in.cancel()
+	}
+	in.wg.Wait()
+}
+
+// Applied returns the log of fault events as applied, in application order.
+func (in *Injector) Applied() []AppliedEvent {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]AppliedEvent, len(in.applied))
+	copy(out, in.applied)
+	return out
+}
+
+// OnMessage implements transport.FaultPolicy.
+func (in *Injector) OnMessage(m transport.Message, seq int64) transport.Verdict {
+	var v transport.Verdict
+	for i := range in.plan.Links {
+		f := &in.plan.Links[i]
+		if !f.matches(m.From, m.To) {
+			continue
+		}
+		c := in.linkCounts[i].Add(1)
+		if f.DropEvery > 0 && c%int64(f.DropEvery) == 0 {
+			r := f.Retransmits
+			if r <= 0 {
+				r = 1
+			}
+			v.Retransmits += r
+		}
+		if f.DelayEvery > 0 && c%int64(f.DelayEvery) == 0 && f.Delay > v.Delay {
+			v.Delay = f.Delay
+		}
+	}
+	if seq >= in.nextAt.Load() {
+		in.applyDue(seq)
+	}
+	return v
+}
+
+// applyDue applies every pending event whose trigger has been reached.
+func (in *Injector) applyDue(seq int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, e := range in.events {
+		if in.done[i] || e.At > seq {
+			continue
+		}
+		in.applyLocked(i, seq, false)
+	}
+	in.refreshNextLocked()
+}
+
+// applyLocked applies event i. Caller holds in.mu.
+func (in *Injector) applyLocked(i int, seq int64, forced bool) {
+	e := in.events[i]
+	in.done[i] = true
+	switch e.Action {
+	case Crash:
+		if _, alreadyDown := in.down[e.Node]; alreadyDown {
+			return
+		}
+		if in.net != nil {
+			in.net.Crash(e.Node)
+		}
+		if in.hooks != nil {
+			in.hooks.HaltNode(e.Node)
+		}
+		in.down[e.Node] = seq
+		in.col.AddCrash()
+	case Recover:
+		crashSeq, wasDown := in.down[e.Node]
+		if !wasDown {
+			return
+		}
+		if in.hooks != nil {
+			in.hooks.RestartNode(e.Node)
+		}
+		if in.net != nil {
+			in.net.Recover(e.Node)
+		}
+		delete(in.down, e.Node)
+		in.col.AddRecovery(seq - crashSeq)
+	}
+	ae := AppliedEvent{Event: e, Seq: seq, Forced: forced}
+	in.applied = append(in.applied, ae)
+	select {
+	case in.eventCh <- ae:
+	default:
+	}
+}
+
+// refreshNextLocked recomputes the earliest unapplied trigger.
+func (in *Injector) refreshNextLocked() {
+	next := maxInt64
+	for i, e := range in.events {
+		if !in.done[i] && e.At < next {
+			next = e.At
+		}
+	}
+	in.nextAt.Store(next)
+}
+
+// exhausted reports whether every scheduled event has been applied.
+func (in *Injector) exhausted() bool {
+	return in.nextAt.Load() == maxInt64
+}
+
+// forceRecovery applies the earliest pending Recover event for a currently
+// crashed node, out of schedule. It reports whether it acted.
+func (in *Injector) forceRecovery() bool {
+	seq := in.net.Seq()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, e := range in.events {
+		if in.done[i] || e.Action != Recover {
+			continue
+		}
+		if _, isDown := in.down[e.Node]; !isDown {
+			continue
+		}
+		in.applyLocked(i, seq, true)
+		in.refreshNextLocked()
+		return true
+	}
+	return false
+}
+
+// watch is the stall backstop: when the network stalls (every in-flight
+// message parked at a crashed node) before a scheduled recovery trigger can
+// fire — the network's logical clock only advances on sends, and a dead hub
+// stops sends — it forces the next pending recovery so the run always makes
+// progress. It exits once every scheduled event has been applied.
+func (in *Injector) watch(ctx context.Context) {
+	defer in.wg.Done()
+	idlePoll := time.NewTimer(time.Hour)
+	if !idlePoll.Stop() {
+		<-idlePoll.C
+	}
+	for !in.exhausted() {
+		stalled, err := in.net.AwaitStall(ctx)
+		if err != nil {
+			return
+		}
+		if stalled && in.forceRecovery() {
+			continue
+		}
+		// Idle (nothing in flight yet/anymore), or stalled on a crash we
+		// didn't cause: re-check shortly rather than spinning.
+		idlePoll.Reset(time.Millisecond)
+		select {
+		case <-idlePoll.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -98,6 +98,17 @@ func (r NodeRecorder) Add(m Mechanism, units int64) {
 type Collector struct {
 	msgs [numMechanisms]atomic.Int64
 
+	// Recovery counters, fed by the fault injector and the transport when a
+	// fault plan is active: physical retransmissions charged by drop faults,
+	// node crashes and recoveries applied, total recovery time in
+	// delivered-message ticks, and instances that were running at some crash
+	// and still reached a terminal status.
+	retransmits   atomic.Int64
+	crashes       atomic.Int64
+	recoveries    atomic.Int64
+	recoveryTicks atomic.Int64
+	survived      atomic.Int64
+
 	// mu guards the nodes map only. Registration happens once per node at
 	// system construction; steady-state writes go through NodeRecorder
 	// handles and never touch the map.
@@ -151,6 +162,57 @@ func (c *Collector) AddMessages(m Mechanism, n int64) {
 func (c *Collector) Messages(m Mechanism) int64 {
 	return c.msgs[m].Load()
 }
+
+// AddRetransmits records n physical retransmissions charged by drop faults.
+func (c *Collector) AddRetransmits(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.retransmits.Add(n)
+}
+
+// Retransmits returns the number of fault-injected retransmissions.
+func (c *Collector) Retransmits() int64 { return c.retransmits.Load() }
+
+// AddCrash records one applied node crash.
+func (c *Collector) AddCrash() {
+	if c == nil {
+		return
+	}
+	c.crashes.Add(1)
+}
+
+// Crashes returns the number of node crashes applied.
+func (c *Collector) Crashes() int64 { return c.crashes.Load() }
+
+// AddRecovery records one node recovery that took ticks delivered-message
+// ticks (the network's logical clock) from crash to recovery.
+func (c *Collector) AddRecovery(ticks int64) {
+	if c == nil {
+		return
+	}
+	c.recoveries.Add(1)
+	c.recoveryTicks.Add(ticks)
+}
+
+// Recoveries returns the number of node recoveries applied.
+func (c *Collector) Recoveries() int64 { return c.recoveries.Load() }
+
+// RecoveryTicks returns the total recovery time across all recoveries, in
+// delivered-message ticks.
+func (c *Collector) RecoveryTicks() int64 { return c.recoveryTicks.Load() }
+
+// AddSurvived records n instances that were running when a node crashed and
+// still reached a terminal status.
+func (c *Collector) AddSurvived(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.survived.Add(n)
+}
+
+// Survived returns the number of instances that survived a crash.
+func (c *Collector) Survived() int64 { return c.survived.Load() }
 
 // TotalMessages returns the number of messages across all mechanisms.
 func (c *Collector) TotalMessages() int64 {
@@ -265,6 +327,11 @@ func (c *Collector) Reset() {
 	for i := range c.msgs {
 		c.msgs[i].Store(0)
 	}
+	c.retransmits.Store(0)
+	c.crashes.Store(0)
+	c.recoveries.Store(0)
+	c.recoveryTicks.Store(0)
+	c.survived.Store(0)
 }
 
 // String renders a compact human-readable report, one line per mechanism.

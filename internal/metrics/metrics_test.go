@@ -225,3 +225,36 @@ func TestPropertyMessagesPerMechanismIndependent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRecoveryCounters(t *testing.T) {
+	c := NewCollector()
+	c.AddCrash()
+	c.AddCrash()
+	c.AddRecovery(7)
+	c.AddRecovery(3)
+	c.AddRetransmits(4)
+	c.AddSurvived(5)
+	if c.Crashes() != 2 || c.Recoveries() != 2 {
+		t.Errorf("crashes=%d recoveries=%d, want 2/2", c.Crashes(), c.Recoveries())
+	}
+	if c.RecoveryTicks() != 10 {
+		t.Errorf("recovery ticks = %d, want 10", c.RecoveryTicks())
+	}
+	if c.Retransmits() != 4 || c.Survived() != 5 {
+		t.Errorf("retransmits=%d survived=%d, want 4/5", c.Retransmits(), c.Survived())
+	}
+	c.Reset()
+	if c.Crashes()+c.Recoveries()+c.RecoveryTicks()+c.Retransmits()+c.Survived() != 0 {
+		t.Error("Reset left recovery counters standing")
+	}
+}
+
+// TestRecoveryCountersNilSafe pins the contract the fault injector relies
+// on: recording into a nil collector is a no-op, not a panic.
+func TestRecoveryCountersNilSafe(t *testing.T) {
+	var c *Collector
+	c.AddCrash()
+	c.AddRecovery(1)
+	c.AddRetransmits(1)
+	c.AddSurvived(1)
+}

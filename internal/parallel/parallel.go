@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crew/internal/central"
+	"crew/internal/cerrors"
 	"crew/internal/coord"
 	"crew/internal/expr"
 	"crew/internal/metrics"
@@ -110,6 +112,9 @@ type System struct {
 	owner  map[string]int // instance key -> engine index
 	nextID map[string]int
 	rr     int
+
+	library *model.Library
+	closed  atomic.Bool
 }
 
 // NewSystem builds and starts a parallel deployment.
@@ -139,10 +144,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 
 	net := transport.New(cfg.Collector)
 	sys := &System{
-		net:    net,
-		col:    cfg.Collector,
-		owner:  make(map[string]int),
-		nextID: make(map[string]int),
+		net:     net,
+		col:     cfg.Collector,
+		owner:   make(map[string]int),
+		nextID:  make(map[string]int),
+		library: cfg.Library,
 	}
 
 	for i := 0; i < cfg.Engines; i++ {
@@ -226,9 +232,33 @@ func (s *System) engineFor(workflow string, id int) *central.Engine {
 	return s.engines[idx]
 }
 
+// admit performs the shared pre-flight checks of context-aware calls.
+func (s *System) admit(ctx context.Context, workflow string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("parallel: %w", cerrors.ErrClosed)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workflow != "" && s.library.Schema(workflow) == nil {
+		return fmt.Errorf("parallel: %w: %q", cerrors.ErrUnknownWorkflow, workflow)
+	}
+	return nil
+}
+
 // Start launches an instance on the next engine (round robin) and returns
 // its ID.
 func (s *System) Start(workflow string, inputs map[string]expr.Value) (int, error) {
+	return s.StartCtx(context.Background(), workflow, inputs)
+}
+
+// StartCtx launches an instance on the next engine (round robin). The context
+// gates only the admission of the request; a started instance keeps running
+// after ctx is cancelled.
+func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, error) {
+	if err := s.admit(ctx, workflow); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	s.nextID[workflow]++
 	id := s.nextID[workflow]
@@ -267,23 +297,47 @@ func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.V
 // processed anywhere in the deployment.
 func (s *System) Quiesce(ctx context.Context) error { return s.net.Quiesce(ctx) }
 
-// Run starts an instance and waits for its terminal status.
+// Run starts an instance and waits for its terminal status. It wraps RunCtx
+// with a deadline context.
 func (s *System) Run(workflow string, inputs map[string]expr.Value, timeout time.Duration) (int, wfdb.Status, error) {
-	id, err := s.Start(workflow, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.RunCtx(ctx, workflow, inputs)
+}
+
+// RunCtx starts an instance and waits for its terminal status under ctx.
+func (s *System) RunCtx(ctx context.Context, workflow string, inputs map[string]expr.Value) (int, wfdb.Status, error) {
+	id, err := s.StartCtx(ctx, workflow, inputs)
 	if err != nil {
 		return 0, 0, err
 	}
-	st, err := s.Wait(workflow, id, timeout)
+	st, err := s.WaitCtx(ctx, workflow, id)
 	return id, st, err
 }
 
-// Wait blocks until the instance terminates.
+// Wait blocks until the instance terminates. It wraps WaitCtx with a deadline
+// context; the deadline surfaces as cerrors.ErrTimeout.
 func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Status, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.WaitCtx(ctx, workflow, id)
+}
+
+// WaitCtx blocks until the instance terminates or ctx ends. A deadline expiry
+// is reported as cerrors.ErrTimeout (errors.Is-matchable); a plain
+// cancellation as ctx.Err().
+func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
+	if err := s.admit(ctx, ""); err != nil {
+		return 0, err
+	}
 	select {
 	case st := <-s.engineFor(workflow, id).WaitChan(workflow, id):
 		return st, nil
-	case <-time.After(timeout):
-		return 0, fmt.Errorf("parallel: timeout waiting for %s.%d", workflow, id)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return 0, fmt.Errorf("parallel: %w: %s.%d", cerrors.ErrTimeout, workflow, id)
+		}
+		return 0, ctx.Err()
 	}
 }
 
@@ -307,8 +361,12 @@ func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 	return s.engineFor(workflow, id).Snapshot(workflow, id)
 }
 
-// Close shuts the deployment down.
+// Close shuts the deployment down. Later context-aware calls fail with
+// cerrors.ErrClosed.
 func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
 	s.net.Close()
 	for _, e := range s.engines {
 		e.Stop()
@@ -316,6 +374,33 @@ func (s *System) Close() {
 	for _, a := range s.agents {
 		a.Stop()
 	}
+}
+
+// HaltNode simulates a process crash of a named node. A crashed engine
+// discards its volatile state (rebuilt from its WFDB by RestartNode); agents
+// are stateless, so for them — and unknown names — only the transport queue
+// is parked. The home coordination tracker (engine 0) is treated as part of
+// the persistent coordination database, matching the paper's assumption that
+// scheduler state survives in stable storage.
+func (s *System) HaltNode(name string) {
+	s.net.Crash(name)
+	for _, e := range s.engines {
+		if e.Name() == name {
+			e.Halt()
+		}
+	}
+}
+
+// RestartNode recovers a node halted by HaltNode: a crashed engine rebuilds
+// from its WFDB, then the transport delivers the messages parked while the
+// node was down.
+func (s *System) RestartNode(name string) {
+	for _, e := range s.engines {
+		if e.Name() == name {
+			e.Restart()
+		}
+	}
+	s.net.Recover(name)
 }
 
 func (s *System) send(from, to string, kind string, payload any) {

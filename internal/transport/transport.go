@@ -22,6 +22,15 @@
 // The network also tracks every accepted message until it is consumed, which
 // is what makes Quiesce possible: experiment harnesses block until no message
 // is queued or undelivered instead of sleeping an arbitrary grace period.
+//
+// Fault injection hooks into this layer through a FaultPolicy: a policy
+// installed with SetFaultPolicy observes every accepted message (with its
+// global sequence number) and may charge retransmissions for it or delay its
+// delivery by a number of pump rounds. The network additionally distinguishes
+// in-flight messages that are parked at a crashed node; AwaitStall blocks
+// until either the network drains or every remaining in-flight message is
+// parked — the signal a fault injector uses to force recovery when a crash
+// has stalled all forward progress.
 package transport
 
 import (
@@ -46,6 +55,30 @@ type Message struct {
 	Kind string
 	// Payload carries the WI arguments; consumers type-switch on it.
 	Payload any
+}
+
+// Verdict is a FaultPolicy's decision about one accepted message. The zero
+// Verdict means "deliver normally".
+type Verdict struct {
+	// Retransmits charges that many extra physical transmissions of the
+	// message (a drop followed by retransmission under a reliable transport:
+	// the message still arrives, but it cost 1+Retransmits sends). The extra
+	// copies are counted in the collector under the message's mechanism and
+	// in the retransmit recovery counter.
+	Retransmits int
+	// Delay holds the message at the receiving node for that many delivery
+	// rounds (pump passes). Per-link FIFO order is preserved: messages from
+	// the same sender queued behind a delayed message are held with it.
+	Delay int
+}
+
+// FaultPolicy is consulted on every message accepted for delivery. seq is the
+// message's global 1-based acceptance sequence number — the network's logical
+// clock, in delivered-message ticks. Implementations must be safe for
+// concurrent use and must not block: the policy runs on the sender's
+// goroutine.
+type FaultPolicy interface {
+	OnMessage(m Message, seq int64) Verdict
 }
 
 // Endpoint is a node's receive side.
@@ -81,6 +114,13 @@ func (e *Endpoint) Ack() {
 	}
 }
 
+// queued is one mailbox entry: the message plus the remaining delivery-round
+// delay charged by the fault policy.
+type queued struct {
+	m     Message
+	delay int
+}
+
 type node struct {
 	net       *Network
 	ep        *Endpoint
@@ -88,7 +128,7 @@ type node struct {
 	manualAck atomic.Bool
 
 	mu     sync.Mutex
-	queue  []Message
+	queue  []queued
 	notify chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
@@ -98,10 +138,15 @@ type node struct {
 // the entire queued slice out under the lock and delivers the batch, so the
 // per-message steady-state cost is one channel send — the lock is paid once
 // per burst. The batch and queue buffers are reused across swaps.
+//
+// Messages carrying a fault-injected delay are held for that many pump
+// passes before delivery; while a message from sender S is held, every later
+// message from S in the same pass is held behind it, so per-link FIFO order
+// survives injected latency.
 func (nd *node) pump() {
 	defer close(nd.done)
 	defer close(nd.ep.ch)
-	var batch []Message
+	var batch []queued
 	for {
 		nd.mu.Lock()
 		if nd.up.Load() && len(nd.queue) > 0 {
@@ -116,23 +161,55 @@ func (nd *node) pump() {
 				return
 			}
 		}
+		var held []queued
+		var heldFrom map[string]bool
+		crashedAt := -1
 		for i := range batch {
 			if !nd.up.Load() {
-				// Crashed mid-batch: push the undelivered remainder back to
-				// the front of the queue so recovery preserves FIFO order.
-				rest := append([]Message(nil), batch[i:]...)
-				nd.mu.Lock()
-				nd.queue = append(rest, nd.queue...)
-				nd.mu.Unlock()
+				crashedAt = i
 				break
 			}
+			q := batch[i]
+			if q.delay > 0 || heldFrom[q.m.From] {
+				if q.delay > 0 {
+					q.delay--
+				}
+				if heldFrom == nil {
+					heldFrom = make(map[string]bool)
+				}
+				heldFrom[q.m.From] = true
+				held = append(held, q)
+				continue
+			}
 			select {
-			case nd.ep.ch <- batch[i]:
+			case nd.ep.ch <- q.m:
 				if !nd.manualAck.Load() {
 					nd.net.decInflight()
 				}
 			case <-nd.stop:
 				return
+			}
+		}
+		if crashedAt >= 0 || len(held) > 0 {
+			// Push undelivered messages back to the front of the queue so
+			// later arrivals stay behind them: held-for-delay messages first
+			// (they arrived earliest), then the remainder the crash cut off.
+			rest := append([]queued(nil), held...)
+			if crashedAt >= 0 {
+				rest = append(rest, batch[crashedAt:]...)
+			}
+			nd.mu.Lock()
+			nd.queue = append(rest, nd.queue...)
+			if !nd.up.Load() {
+				// The node is down: everything just requeued is parked until
+				// recovery (Recover subtracts the whole queue).
+				nd.net.parked.Add(int64(len(rest)))
+			}
+			nd.mu.Unlock()
+			nd.net.maybeNotifyQuiet()
+			if crashedAt < 0 {
+				// Nothing is waking us for the held messages; re-arm.
+				nd.wake()
 			}
 		}
 		batch = batch[:0]
@@ -158,12 +235,20 @@ type Network struct {
 	// protocol-trace tests and the crewsim fig4 demo). Captured atomically so
 	// installation can race with traffic.
 	trace atomic.Pointer[func(Message)]
+	// policy, when non-nil, is the installed FaultPolicy.
+	policy atomic.Pointer[FaultPolicy]
+	// accepted is the global message sequence clock: the number of messages
+	// accepted for delivery so far.
+	accepted atomic.Int64
 
 	// inflight counts messages accepted by Send but not yet consumed (see
-	// Endpoint.ManualAck for what "consumed" means per endpoint). idleCh is
-	// non-nil while Quiesce waiters sleep and is closed when inflight reaches
-	// zero.
+	// Endpoint.ManualAck for what "consumed" means per endpoint). parked
+	// counts the subset currently queued at a crashed node; when
+	// inflight == parked > 0 the network is stalled on recovery. idleCh is
+	// non-nil while Quiesce/AwaitStall waiters sleep and is closed on every
+	// transition to idle or stalled.
 	inflight atomic.Int64
+	parked   atomic.Int64
 	idleMu   sync.Mutex
 	idleCh   chan struct{}
 }
@@ -206,6 +291,22 @@ func (n *Network) Trace(fn func(Message)) {
 	}
 	n.trace.Store(&fn)
 }
+
+// SetFaultPolicy installs (or, with nil, removes) the fault policy consulted
+// on every accepted message. Installation is atomic with respect to
+// concurrent sends; with no policy installed the send path pays one atomic
+// load.
+func (n *Network) SetFaultPolicy(p FaultPolicy) {
+	if p == nil {
+		n.policy.Store(nil)
+		return
+	}
+	n.policy.Store(&p)
+}
+
+// Seq returns the network's logical clock: the number of messages accepted
+// for delivery so far.
+func (n *Network) Seq() int64 { return n.accepted.Load() }
 
 // lookup resolves a node without locking (copy-on-write node table).
 func (n *Network) lookup(name string) *node {
@@ -281,6 +382,16 @@ func (n *Network) deliver(nd *node, m Message) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
+	seq := n.accepted.Add(1)
+	delay := 0
+	if p := n.policy.Load(); p != nil {
+		v := (*p).OnMessage(m, seq)
+		if v.Retransmits > 0 && n.collector != nil {
+			n.collector.AddMessages(m.Mechanism, int64(v.Retransmits))
+			n.collector.AddRetransmits(int64(v.Retransmits))
+		}
+		delay = v.Delay
+	}
 	if n.collector != nil {
 		n.collector.AddMessages(m.Mechanism, 1)
 	}
@@ -288,28 +399,53 @@ func (n *Network) deliver(nd *node, m Message) error {
 		(*fn)(m)
 	}
 	n.inflight.Add(1)
+	parkedHere := false
 	nd.mu.Lock()
-	nd.queue = append(nd.queue, m)
+	nd.queue = append(nd.queue, queued{m: m, delay: delay})
+	if !nd.up.Load() {
+		n.parked.Add(1)
+		parkedHere = true
+	}
 	nd.mu.Unlock()
+	if parkedHere {
+		n.maybeNotifyQuiet()
+	}
 	nd.wake()
 	return nil
 }
 
-// decInflight retires one in-flight message and releases Quiesce waiters when
-// the network drains. The idle mutex is only touched on transitions to zero.
+// decInflight retires one in-flight message and releases Quiesce/AwaitStall
+// waiters on a transition to idle or stalled.
 func (n *Network) decInflight() {
-	if n.inflight.Add(-1) == 0 {
-		n.idleMu.Lock()
-		if n.idleCh != nil {
-			close(n.idleCh)
-			n.idleCh = nil
-		}
-		n.idleMu.Unlock()
+	in := n.inflight.Add(-1)
+	if in == 0 || in == n.parked.Load() {
+		n.notifyQuiet()
 	}
+}
+
+// maybeNotifyQuiet releases waiters if the network is currently idle or
+// stalled. Called after any change to the parked count.
+func (n *Network) maybeNotifyQuiet() {
+	in := n.inflight.Load()
+	if in == 0 || in == n.parked.Load() {
+		n.notifyQuiet()
+	}
+}
+
+func (n *Network) notifyQuiet() {
+	n.idleMu.Lock()
+	if n.idleCh != nil {
+		close(n.idleCh)
+		n.idleCh = nil
+	}
+	n.idleMu.Unlock()
 }
 
 // InFlight reports the number of messages accepted but not yet consumed.
 func (n *Network) InFlight() int64 { return n.inflight.Load() }
+
+// Parked reports how many in-flight messages are queued at crashed nodes.
+func (n *Network) Parked() int64 { return n.parked.Load() }
 
 // Quiesce blocks until the network is idle: no message queued, undelivered,
 // or (for ManualAck endpoints) still being processed. Messages queued for a
@@ -340,6 +476,41 @@ func (n *Network) Quiesce(ctx context.Context) error {
 	}
 }
 
+// AwaitStall blocks until the network either drains completely (returns
+// false) or stalls — every in-flight message is parked at a crashed node, so
+// no forward progress is possible until something recovers (returns true).
+// Fault injectors use this as the backstop that forces recovery when a crash
+// has frozen the system before the scheduled recovery trigger can fire.
+func (n *Network) AwaitStall(ctx context.Context) (bool, error) {
+	for {
+		if n.closed.Load() {
+			return false, ErrClosed
+		}
+		n.idleMu.Lock()
+		in, p := n.inflight.Load(), n.parked.Load()
+		if in == 0 {
+			n.idleMu.Unlock()
+			return false, nil
+		}
+		if in == p {
+			n.idleMu.Unlock()
+			return true, nil
+		}
+		if n.idleCh == nil {
+			n.idleCh = make(chan struct{})
+		}
+		ch := n.idleCh
+		n.idleMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-n.closedCh:
+			return false, ErrClosed
+		}
+	}
+}
+
 // Alive reports whether the node is registered and up.
 func (n *Network) Alive(name string) bool {
 	nd := n.lookup(name)
@@ -353,7 +524,13 @@ func (n *Network) Crash(name string) bool {
 	if nd == nil {
 		return false
 	}
-	nd.up.Store(false)
+	nd.mu.Lock()
+	if nd.up.Load() {
+		nd.up.Store(false)
+		n.parked.Add(int64(len(nd.queue)))
+	}
+	nd.mu.Unlock()
+	n.maybeNotifyQuiet()
 	return true
 }
 
@@ -363,7 +540,13 @@ func (n *Network) Recover(name string) bool {
 	if nd == nil {
 		return false
 	}
-	nd.up.Store(true)
+	nd.mu.Lock()
+	if !nd.up.Load() {
+		nd.up.Store(true)
+		n.parked.Add(int64(-len(nd.queue)))
+	}
+	nd.mu.Unlock()
+	n.maybeNotifyQuiet()
 	nd.wake()
 	return true
 }

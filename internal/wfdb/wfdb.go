@@ -61,6 +61,11 @@ const (
 	StepFailed
 	// StepCompensated means the step's effects were compensated.
 	StepCompensated
+	// StepCompensating means a compensation of the step's previous results
+	// is dispatched to an agent. It is written ahead of the dispatch so a
+	// crashed engine can tell, on restart, that a compensation result is
+	// still owed and must not be re-requested (compensation runs once).
+	StepCompensating
 )
 
 // String names the step status.
@@ -76,6 +81,8 @@ func (s StepStatus) String() string {
 		return "failed"
 	case StepCompensated:
 		return "compensated"
+	case StepCompensating:
+		return "compensating"
 	default:
 		return fmt.Sprintf("StepStatus(%d)", int(s))
 	}
@@ -97,6 +104,11 @@ type StepRecord struct {
 	// performs, which is exactly what lets the OCR strategy reuse or
 	// incrementally rebuild the previous results on re-execution.
 	HasResult bool `json:"hasResult,omitempty"`
+	// CompMode records, while Status is StepCompensating, whether the
+	// in-flight compensation is complete (ModeCompensate) or partial
+	// (ModePartialComp, to be followed by an incremental re-execution);
+	// restart recovery rebuilds the pending compensation task from it.
+	CompMode model.ExecMode `json:"compMode,omitempty"`
 }
 
 // Prev packages the record's previous execution for a program context.
@@ -124,6 +136,11 @@ type Instance struct {
 	// re-executions); compensation dependent sets use it to compensate in
 	// reverse execution order.
 	ExecOrder []model.StepID
+	// Aborting records that the instance entered an abort (user abort or
+	// exhausted failure handling) and its compensation chain may be
+	// incomplete. Persisted so a restarted engine rebuilds and finishes the
+	// chain instead of resuming forward execution.
+	Aborting bool
 	// Parent links a nested workflow instance to its parent step.
 	Parent *ParentRef
 }
@@ -234,12 +251,23 @@ func (ins *Instance) RecordFailed(id model.StepID) {
 	ins.Events.Post(event.FailName(string(id)))
 }
 
+// RecordCompensating marks a compensation of the step as dispatched to an
+// agent in the given mode (ModeCompensate or ModePartialComp). Persisting the
+// instance after this call and before the dispatch is the write-ahead record
+// that makes compensation exactly-once across an engine crash.
+func (ins *Instance) RecordCompensating(id model.StepID, mode model.ExecMode) {
+	r := ins.StepRec(id)
+	r.Status = StepCompensating
+	r.CompMode = mode
+}
+
 // RecordCompensated marks a step compensated: its done event is invalidated,
 // its outputs are removed from the data table, and step.compensated posts.
 func (ins *Instance) RecordCompensated(id model.StepID) {
 	r := ins.StepRec(id)
 	r.Status = StepCompensated
 	r.HasResult = false
+	r.CompMode = 0
 	for short := range r.Outputs {
 		delete(ins.Data, id.Ref(short))
 	}
@@ -310,6 +338,7 @@ func (ins *Instance) Clone() *Instance {
 		Events:    ins.Events.Clone(),
 		Steps:     make(map[model.StepID]*StepRecord, len(ins.Steps)),
 		ExecOrder: append([]model.StepID(nil), ins.ExecOrder...),
+		Aborting:  ins.Aborting,
 	}
 	for k, v := range ins.Data {
 		c.Data[k] = v
@@ -347,6 +376,7 @@ type instanceJSON struct {
 	Events    []event.Exported             `json:"events"`
 	Steps     map[model.StepID]*StepRecord `json:"steps"`
 	ExecOrder []model.StepID               `json:"execOrder"`
+	Aborting  bool                         `json:"aborting,omitempty"`
 	Parent    *ParentRef                   `json:"parent,omitempty"`
 }
 
@@ -359,6 +389,7 @@ func (ins *Instance) toJSON() instanceJSON {
 		Events:    ins.Events.Export(),
 		Steps:     ins.Steps,
 		ExecOrder: ins.ExecOrder,
+		Aborting:  ins.Aborting,
 		Parent:    ins.Parent,
 	}
 }
@@ -372,6 +403,7 @@ func fromJSON(j instanceJSON) *Instance {
 		Events:    event.ImportTable(j.Events),
 		Steps:     j.Steps,
 		ExecOrder: j.ExecOrder,
+		Aborting:  j.Aborting,
 		Parent:    j.Parent,
 	}
 	if ins.Data == nil {

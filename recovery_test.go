@@ -1,0 +1,196 @@
+package crew_test
+
+import (
+	"testing"
+	"time"
+
+	"crew"
+)
+
+// nodeFaults is the crash surface every architecture's System exposes (the
+// fault injector drives it; these tests drive it from inside step programs to
+// pin the crash to an exact point of the failure-handling protocol).
+type nodeFaults interface {
+	HaltNode(name string)
+	RestartNode(name string)
+}
+
+// archCase describes one architecture's deployment knobs for the recovery
+// tables: which scheduler nodes to crash and how to give them databases.
+type archCase struct {
+	arch  crew.Architecture
+	nodes []string
+	conf  func(*crew.Config)
+}
+
+func recoveryCases() []archCase {
+	return []archCase{
+		{crew.Central, []string{"engine"}, func(c *crew.Config) {
+			c.DB = crew.NewMemoryDB()
+		}},
+		{crew.Parallel, []string{"engine0", "engine1"}, func(c *crew.Config) {
+			c.Engines = 2
+			c.DBs = []*crew.DB{crew.NewMemoryDB(), crew.NewMemoryDB()}
+		}},
+		// In distributed control every agent already replicates the state of
+		// the instances it touches, so a crash parks only its transport queue.
+		{crew.Distributed, []string{"a1"}, func(c *crew.Config) {}},
+	}
+}
+
+// crashNodes simulates a crash/restart cycle of the scheduler nodes: volatile
+// state is wiped (central, parallel) or inbound traffic parked (distributed),
+// then recovery rebuilds from the workflow database and drains the queue.
+func crashNodes(t *testing.T, sys crew.System, nodes []string) {
+	t.Helper()
+	nf, ok := sys.(nodeFaults)
+	if !ok {
+		t.Fatalf("%T does not expose HaltNode/RestartNode", sys)
+	}
+	for _, n := range nodes {
+		nf.HaltNode(n)
+	}
+	for _, n := range nodes {
+		nf.RestartNode(n)
+	}
+}
+
+// TestCrashDuringRollback crashes the scheduling nodes while an abort's
+// compensation is in flight, for every architecture. The recovery contract:
+// the instance still reaches its terminal status, and the compensation (run
+// exactly-once by the StepCompensating write-ahead mark) is not re-requested
+// by the rebuilt scheduler.
+func TestCrashDuringRollback(t *testing.T) {
+	for _, tc := range recoveryCases() {
+		t.Run(tc.arch.String(), func(t *testing.T) {
+			rec := &recorder{}
+			var sys crew.System
+			reg := crew.NewRegistry()
+			reg.Register("pa", crew.ConstProgram(map[string]crew.Value{"O1": crew.Num(7)}))
+			reg.Register("ca", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				if rec.count("ca") == 0 {
+					crashNodes(t, sys, tc.nodes)
+				}
+				rec.add("ca")
+				return nil, nil
+			})
+			reg.Register("pb", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("b")
+				return nil, crew.Fail("permanent failure")
+			})
+			lib := crew.NewLibrary()
+			lib.Add(crew.NewSchema("R").
+				Step("A", "pa", crew.WithOutputs("O1"), crew.WithCompensation("ca"), crew.WithAgents("a1")).
+				Step("B", "pb", crew.WithInputs("A.O1"), crew.WithAgents("a2")).
+				Seq("A", "B").
+				OnFailure("B", "A", 2).
+				MustBuild())
+			cfg := crew.Config{
+				Library:      lib,
+				Programs:     reg,
+				Architecture: tc.arch,
+				Agents:       []string{"a1", "a2"},
+				Logf:         t.Logf,
+			}
+			tc.conf(&cfg)
+			s, err := crew.NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sys = s
+
+			_, st, err := s.Run("R", nil, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != crew.Aborted {
+				t.Fatalf("status = %v, want aborted", st)
+			}
+			if got := rec.count("ca"); got != 1 {
+				t.Errorf("compensation of A ran %d times, want exactly once", got)
+			}
+			if got := rec.count("b"); got < 1 {
+				t.Errorf("B never executed")
+			}
+		})
+	}
+}
+
+// TestCrashDuringOCR crashes the scheduling nodes at the exact point a step
+// failure is reported, so recovery happens while the failure-handling and OCR
+// machinery decides what to roll back. The opportunistic outcome must survive
+// the crash: A's unchanged results are reused — neither compensated nor
+// re-executed — and the instance commits.
+func TestCrashDuringOCR(t *testing.T) {
+	for _, tc := range recoveryCases() {
+		t.Run(tc.arch.String(), func(t *testing.T) {
+			rec := &recorder{}
+			var sys crew.System
+			reg := crew.NewRegistry()
+			reg.Register("pa", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("a")
+				return map[string]crew.Value{"O1": crew.Num(7)}, nil
+			})
+			reg.Register("ca", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("ca")
+				return nil, nil
+			})
+			reg.Register("pb", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				if rec.count("bfail") == 0 {
+					rec.add("bfail")
+					crashNodes(t, sys, tc.nodes)
+					return nil, crew.Fail("transient failure")
+				}
+				rec.add("b")
+				return nil, nil
+			})
+			reg.Register("pc", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("c")
+				return nil, nil
+			})
+			lib := crew.NewLibrary()
+			lib.Add(crew.NewSchema("O").
+				Step("A", "pa", crew.WithOutputs("O1"), crew.WithCompensation("ca"), crew.WithAgents("a1")).
+				Step("B", "pb", crew.WithInputs("A.O1"), crew.WithAgents("a2")).
+				Step("C", "pc", crew.WithAgents("a1")).
+				Seq("A", "B", "C").
+				OnFailure("B", "A", 3).
+				MustBuild())
+			cfg := crew.Config{
+				Library:      lib,
+				Programs:     reg,
+				Architecture: tc.arch,
+				Agents:       []string{"a1", "a2"},
+				Logf:         t.Logf,
+			}
+			tc.conf(&cfg)
+			s, err := crew.NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sys = s
+
+			_, st, err := s.Run("O", nil, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != crew.Committed {
+				t.Fatalf("status = %v, want committed", st)
+			}
+			if got := rec.count("a"); got != 1 {
+				t.Errorf("A executed %d times, want 1 (OCR reuse)", got)
+			}
+			if got := rec.count("ca"); got != 0 {
+				t.Errorf("A compensated %d times despite reuse", got)
+			}
+			if got := rec.count("b"); got != 1 {
+				t.Errorf("B succeeded %d times, want 1", got)
+			}
+			if got := rec.count("c"); got != 1 {
+				t.Errorf("C executed %d times, want 1", got)
+			}
+		})
+	}
+}
