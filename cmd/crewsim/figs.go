@@ -150,7 +150,7 @@ func cmdFig5() error {
 		},
 	}
 	for _, sc := range scenarios {
-		d, err := ocr.Decide(sc.step, sc.rec, sc.inputs, sc.data)
+		d, err := ocr.Decide(nil, sc.step, sc.rec, sc.inputs, sc.data)
 		note := ""
 		if err != nil {
 			note = " (" + err.Error() + ")"

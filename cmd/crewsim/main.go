@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,12 +33,63 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run())
+}
+
+func run() int {
+	// Global flags precede the subcommand (flag parsing stops at the first
+	// non-flag argument, so plain "crewsim table4 -i 5" is unaffected).
+	global := flag.NewFlagSet("crewsim", flag.ExitOnError)
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := global.String("memprofile", "", "write a heap profile to `file` on exit")
+	global.Usage = func() { usage() }
+	global.Parse(os.Args[1:])
+	if global.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	cmd := global.Arg(0)
+	args := global.Args()[1:]
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crewsim: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "crewsim: -cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crewsim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "crewsim: -memprofile:", err)
+			}
+		}()
+	}
+
+	if err := dispatch(cmd, args); err != nil {
+		fmt.Fprintln(os.Stderr, "crewsim:", err)
+		return 1
+	}
+	return 0
+}
+
+func dispatch(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "table3":
@@ -63,14 +116,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crewsim:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: crewsim <table3|table4|table5|table6|table7|sweep|chaos|fig4|fig5|fig7> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: crewsim [-cpuprofile file] [-memprofile file] <table3|table4|table5|table6|table7|sweep|chaos|fig4|fig5|fig7> [flags]`)
 }
 
 // experimentParams defines the measured-run parameter point: Table 3

@@ -12,10 +12,16 @@ import (
 
 	"crew"
 	"crew/internal/analysis"
+	"crew/internal/rules"
 	"crew/internal/workload"
 )
 
-func TestArchitecturesProduceEquivalentResults(t *testing.T) {
+type outcome struct {
+	status crew.Status
+	data   map[string]string
+}
+
+func equivalenceParams() analysis.Parameters {
 	p := analysis.Default()
 	p.C = 3
 	p.S = 7
@@ -25,13 +31,15 @@ func TestArchitecturesProduceEquivalentResults(t *testing.T) {
 	p.R = 2
 	p.ME, p.RO, p.RD = 0, 2, 0 // ordering on, failures off: fully deterministic
 	p.PF, p.PI, p.PA, p.PR = 0, 0, 0, 0
+	return p
+}
 
-	type outcome struct {
-		status crew.Status
-		data   map[string]string
-	}
+// collectOutcomes runs the deterministic workload on every architecture and
+// returns the terminal status and final data of each instance, keyed by
+// workflow and instance index.
+func collectOutcomes(t *testing.T, p analysis.Parameters) map[crew.Architecture]map[string]outcome {
+	t.Helper()
 	const instances = 4
-
 	results := make(map[crew.Architecture]map[string]outcome)
 	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
 		w, err := workload.Generate(p, 99)
@@ -72,27 +80,55 @@ func TestArchitecturesProduceEquivalentResults(t *testing.T) {
 		sys.Close()
 		results[arch] = got
 	}
+	return results
+}
 
+// compareOutcomes fails the test on any status or data divergence between the
+// two outcome sets.
+func compareOutcomes(t *testing.T, label string, base, other map[string]outcome) {
+	t.Helper()
+	if len(other) != len(base) {
+		t.Fatalf("%s produced %d outcomes, reference %d", label, len(other), len(base))
+	}
+	for key, want := range base {
+		got, ok := other[key]
+		if !ok {
+			t.Errorf("%s missing outcome %s", label, key)
+			continue
+		}
+		if got.status != want.status {
+			t.Errorf("%s %s status = %v, reference %v", label, key, got.status, want.status)
+		}
+		for item, v := range want.data {
+			if got.data[item] != v {
+				t.Errorf("%s %s data %s = %s, reference %s", label, key, item, got.data[item], v)
+			}
+		}
+	}
+}
+
+func TestArchitecturesProduceEquivalentResults(t *testing.T) {
+	results := collectOutcomes(t, equivalenceParams())
 	base := results[crew.Central]
 	for _, arch := range []crew.Architecture{crew.Parallel, crew.Distributed} {
-		other := results[arch]
-		if len(other) != len(base) {
-			t.Fatalf("%v produced %d outcomes, central %d", arch, len(other), len(base))
-		}
-		for key, want := range base {
-			got, ok := other[key]
-			if !ok {
-				t.Errorf("%v missing outcome %s", arch, key)
-				continue
-			}
-			if got.status != want.status {
-				t.Errorf("%v %s status = %v, central %v", arch, key, got.status, want.status)
-			}
-			for item, v := range want.data {
-				if got.data[item] != v {
-					t.Errorf("%v %s data %s = %s, central %s", arch, key, item, got.data[item], v)
-				}
-			}
-		}
+		compareOutcomes(t, arch.String(), base, results[arch])
+	}
+}
+
+// TestIndexedRulePathMatchesScanReference forces every rule engine in the
+// system through the reference scan evaluation path and re-runs the
+// deterministic workload: the indexed (reactive) path must produce the same
+// outcomes on every architecture — the engine's inverted index is an
+// evaluation strategy, never a semantics change.
+func TestIndexedRulePathMatchesScanReference(t *testing.T) {
+	p := equivalenceParams()
+
+	rules.SetScanOnly(true)
+	scan := collectOutcomes(t, p)
+	rules.SetScanOnly(false)
+	indexed := collectOutcomes(t, p)
+
+	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
+		compareOutcomes(t, "indexed/"+arch.String(), scan[arch], indexed[arch])
 	}
 }

@@ -22,6 +22,9 @@ type Agent struct {
 	// handles caches per-destination senders; touched only by the agent
 	// goroutine.
 	handles map[string]*transport.Handle
+	// batch coalesces the responses of one handler turn (one received
+	// envelope of N requests yields one envelope of N responses).
+	batch transport.Batcher
 
 	load int64 // executions performed, reported to StateInformation probes
 
@@ -65,13 +68,25 @@ func (a *Agent) Stop() {
 func (a *Agent) loop() {
 	defer a.wg.Done()
 	for m := range a.ep.Inbox() {
-		switch p := m.Payload.(type) {
-		case ExecRequest:
-			a.handleExec(p)
-		case StateRequest:
-			a.send(p.ReplyTo, p.Mechanism, KindStateResponse, StateResponse{Agent: a.name, Load: atomic.LoadInt64(&a.load)})
+		if env, ok := m.Payload.(*transport.Envelope); ok {
+			for _, lm := range env.Msgs {
+				a.handleOne(lm)
+			}
+			env.Release()
+		} else {
+			a.handleOne(m)
 		}
+		_ = a.batch.Flush() // before Ack: sends belong to this turn
 		a.ep.Ack()
+	}
+}
+
+func (a *Agent) handleOne(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case ExecRequest:
+		a.handleExec(p)
+	case StateRequest:
+		a.send(p.ReplyTo, p.Mechanism, KindStateResponse, StateResponse{Agent: a.name, Load: atomic.LoadInt64(&a.load)})
 	}
 }
 
@@ -118,7 +133,7 @@ func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any
 		}
 		a.handles[to] = h
 	}
-	_ = h.Send(transport.Message{
+	a.batch.Add(h, transport.Message{
 		From:      a.name,
 		To:        to,
 		Mechanism: mech,

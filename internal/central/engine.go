@@ -95,6 +95,9 @@ type Engine struct {
 	// handles caches per-destination senders; touched only by the engine
 	// goroutine.
 	handles map[string]*transport.Handle
+	// batch coalesces the sends of one handler turn into per-destination
+	// envelopes; flushed before the turn's Ack (see flushSends).
+	batch transport.Batcher
 
 	cmdMu     sync.Mutex
 	cmdQ      []func()
@@ -182,9 +185,19 @@ func (e *Engine) loop() {
 				return
 			}
 			e.handleMessage(m)
+			e.flushSends()
 			e.ep.Ack()
 		case <-e.cmdNotify:
 		}
+	}
+}
+
+// flushSends dispatches the current turn's batched sends. It runs at the end
+// of every handler turn and command, before the turn's Ack, so quiescence
+// accounting never sees a processed-but-unsent gap.
+func (e *Engine) flushSends() {
+	if err := e.batch.Flush(); err != nil {
+		e.logf("flush sends: %v", err)
 	}
 }
 
@@ -199,6 +212,7 @@ func (e *Engine) drainCmds() {
 		e.cmdQ = e.cmdQ[1:]
 		e.cmdMu.Unlock()
 		f()
+		e.flushSends()
 	}
 }
 
@@ -219,6 +233,7 @@ func (e *Engine) Do(f func()) {
 	e.enqueue(func() {
 		defer close(done)
 		f()
+		e.flushSends() // before done closes: the caller may Quiesce next
 	})
 	<-done
 }
@@ -226,11 +241,19 @@ func (e *Engine) Do(f func()) {
 // DoAsync schedules f on the engine goroutine without waiting. Safe to call
 // from any goroutine, including the engine's own.
 func (e *Engine) DoAsync(f func()) {
-	e.enqueue(f)
+	e.enqueue(func() {
+		f()
+		e.flushSends()
+	})
 }
 
 func (e *Engine) handleMessage(m transport.Message) {
 	switch p := m.Payload.(type) {
+	case *transport.Envelope:
+		for _, lm := range p.Msgs {
+			e.handleMessage(lm)
+		}
+		p.Release()
 	case ExecResponse:
 		e.onExecResponse(p)
 	case StateResponse:
@@ -440,6 +463,7 @@ func (e *Engine) recoverLocked() (int, error) {
 				rec.Status = wfdb.StepPending
 			}
 		}
+		ins.AttachSchema(schema)
 		st := &instState{
 			ins:          ins,
 			schema:       schema,
@@ -453,6 +477,7 @@ func (e *Engine) recoverLocked() (int, error) {
 			childOf:      make(map[model.StepID]int),
 		}
 		rules.InstallSchemaRules(st.rules, schema)
+		st.rules.Bind(st.ins.Events)
 		e.instances[key] = st
 		if id > e.nextID[workflow] {
 			e.nextID[workflow] = id
@@ -531,6 +556,7 @@ func (e *Engine) restartLocked() {
 			e.logf("restart %s: unknown workflow class", key)
 			continue
 		}
+		ins.AttachSchema(schema)
 		st := &instState{
 			ins:          ins,
 			schema:       schema,
@@ -544,6 +570,7 @@ func (e *Engine) restartLocked() {
 			childOf:      make(map[model.StepID]int),
 		}
 		rules.InstallSchemaRules(st.rules, schema)
+		st.rules.Bind(st.ins.Events)
 		// In-flight dispatches survive in the queues: await their results.
 		for sid, rec := range ins.Steps {
 			if rec.Status == wfdb.StepExecuting {
@@ -665,6 +692,7 @@ func (e *Engine) startLocked(workflow string, id int, inputs map[string]expr.Val
 		return 0, fmt.Errorf("central: instance %s already exists", key)
 	}
 	ins := wfdb.NewInstance(workflow, id, inputs)
+	ins.AttachSchema(schema)
 	ins.Parent = parent
 	st := &instState{
 		ins:          ins,
@@ -679,6 +707,7 @@ func (e *Engine) startLocked(workflow string, id int, inputs map[string]expr.Val
 		childOf:      make(map[model.StepID]int),
 	}
 	rules.InstallSchemaRules(st.rules, schema)
+	st.rules.Bind(st.ins.Events)
 	e.instances[key] = st
 	e.addLoad(metrics.Normal, 1) // WorkflowStart processing
 	if e.cfg.DB != nil {
@@ -843,7 +872,7 @@ func (e *Engine) maybeExecute(st *instState, step model.StepID) bool {
 			d = ocr.CompleteCR
 		} else {
 			var derr error
-			d, derr = ocr.Decide(s, rec, inputs, st.ins.Env())
+			d, derr = ocr.Decide(st.schema, s, rec, inputs, st.ins.Env())
 			if derr != nil {
 				e.logf("instance %s step %s: %v", st.ins.Key(), step, derr)
 			}
@@ -980,15 +1009,13 @@ func (e *Engine) send(to string, mech metrics.Mechanism, kind string, payload an
 		}
 		e.handles[to] = h
 	}
-	if err := h.Send(transport.Message{
+	e.batch.Add(h, transport.Message{
 		From:      e.cfg.Name,
 		To:        to,
 		Mechanism: mech,
 		Kind:      kind,
 		Payload:   payload,
-	}); err != nil {
-		e.logf("send %s to %s: %v", kind, to, err)
-	}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -1085,7 +1112,7 @@ func (e *Engine) afterStepDone(st *instState, step model.StepID) {
 
 	// Loop arcs: iterate when the repeat condition holds.
 	for _, a := range st.schema.LoopArcs(step) {
-		cond, err := expr.Compile(a.Cond)
+		cond, err := st.schema.CondExpr(a.Cond)
 		if err != nil {
 			continue
 		}

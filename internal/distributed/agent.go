@@ -125,6 +125,9 @@ type Agent struct {
 	// handles caches per-destination senders; touched only by the agent
 	// goroutine.
 	handles map[string]*transport.Handle
+	// batch coalesces the sends of one handler turn into per-destination
+	// envelopes; flushed before the turn's Ack (see flushSends).
+	batch transport.Batcher
 
 	cmdMu     sync.Mutex
 	cmdQ      []func()
@@ -132,9 +135,9 @@ type Agent struct {
 	wg        sync.WaitGroup
 
 	replicas map[string]*replica
-	// handledHalts dedupes HaltThread floods: key inst|origin|initiator ->
-	// highest epoch seen.
-	handledHalts map[string]int
+	// handledHalts dedupes HaltThread floods: highest epoch seen per
+	// (instance, origin, initiator).
+	handledHalts map[haltKey]int
 	// loads caches StateInformation replies (explicit-election ablation).
 	loads map[string]int64
 	// waiters holds commit/abort subscribers (coordination agent role).
@@ -179,7 +182,7 @@ func NewAgent(cfg Config, net *transport.Network) (*Agent, error) {
 		handles:      make(map[string]*transport.Handle),
 		cmdNotify:    make(chan struct{}, 1),
 		replicas:     make(map[string]*replica),
-		handledHalts: make(map[string]int),
+		handledHalts: make(map[haltKey]int),
 		loads:        make(map[string]int64),
 		waiters:      make(map[string][]chan wfdb.Status),
 	}
@@ -241,11 +244,22 @@ func (a *Agent) loop() {
 				return
 			}
 			a.handleMessage(m)
+			a.flushSends()
 			a.ep.Ack()
 		case <-a.cmdNotify:
 		case <-tick:
 			a.sweep()
+			a.flushSends()
 		}
+	}
+}
+
+// flushSends dispatches the current turn's batched sends. It runs at the end
+// of every handler turn and command, before the turn's Ack, so quiescence
+// accounting never sees a processed-but-unsent gap.
+func (a *Agent) flushSends() {
+	if err := a.batch.Flush(); err != nil {
+		a.logf("flush sends: %v", err)
 	}
 }
 
@@ -260,6 +274,7 @@ func (a *Agent) drainCmds() {
 		a.cmdQ = a.cmdQ[1:]
 		a.cmdMu.Unlock()
 		f()
+		a.flushSends()
 	}
 }
 
@@ -280,6 +295,7 @@ func (a *Agent) Do(f func()) {
 	a.enqueue(func() {
 		defer close(done)
 		f()
+		a.flushSends() // before done closes: the caller may Quiesce next
 	})
 	<-done
 }
@@ -303,15 +319,13 @@ func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any
 		}
 		a.handles[to] = h
 	}
-	if err := h.Send(transport.Message{
+	a.batch.Add(h, transport.Message{
 		From:      a.cfg.Name,
 		To:        to,
 		Mechanism: mech,
 		Kind:      kind,
 		Payload:   payload,
-	}); err != nil {
-		a.logf("send %s to %s: %v", kind, to, err)
-	}
+	})
 }
 
 // effectiveAgents returns the agents eligible to execute a step.
@@ -342,8 +356,10 @@ func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("distributed: unknown workflow class %q", workflow)
 	}
+	ins := wfdb.NewInstance(workflow, id, nil)
+	ins.AttachSchema(schema)
 	r := &replica{
-		ins:          wfdb.NewInstance(workflow, id, nil),
+		ins:          ins,
 		schema:       schema,
 		rules:        rules.NewEngine(),
 		recovery:     metrics.Normal,
@@ -361,12 +377,13 @@ func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
 		for _, ag := range a.effectiveAgents(schema.Steps[id]) {
 			if ag == a.cfg.Name {
 				for _, rl := range rules.StepRules(schema, id) {
-					r.rules.AddRule(rl)
+					r.rules.InstallRule(rl)
 				}
 				break
 			}
 		}
 	}
+	r.rules.Bind(r.ins.Events)
 	a.replicas[key] = r
 	return r, nil
 }

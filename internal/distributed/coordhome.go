@@ -2,7 +2,6 @@ package distributed
 
 import (
 	"crew/internal/coord"
-	"crew/internal/event"
 	"crew/internal/metrics"
 	"crew/internal/nav"
 	"crew/internal/wfdb"
@@ -173,7 +172,7 @@ func (a *Agent) handleRollbackOrder(p coordRollbackOrder) {
 			r.ins.Status != wfdb.Running {
 			continue
 		}
-		if !r.ins.Events.Has(event.DoneName(string(p.Order.TargetStep))) {
+		if !r.ins.Events.Has(r.schema.DoneEventOf(p.Order.TargetStep)) {
 			rec := r.ins.Steps[p.Order.TargetStep]
 			if rec == nil || rec.Attempts == 0 {
 				continue // has not reached the target step yet

@@ -19,6 +19,11 @@ import (
 
 func (a *Agent) handleMessage(m transport.Message) {
 	switch p := m.Payload.(type) {
+	case *transport.Envelope:
+		for _, lm := range p.Msgs {
+			a.handleMessage(lm)
+		}
+		p.Release()
 	case workflowStart:
 		if err := a.handleWorkflowStart(p); err != nil {
 			a.logf("WorkflowStart: %v", err)
@@ -163,13 +168,12 @@ func (a *Agent) handleStepExecute(p stepExecute, from string) {
 // skipped; everything else merges. The step of a data item is its name
 // prefix ("S2" of "S2.O1"); events name their step directly.
 func (a *Agent) mergeFiltered(r *replica, data map[string]expr.Value, events []string, senderEpoch int) {
-	fresh := func(step model.StepID) bool {
-		return senderEpoch >= r.resetEpoch[step]
-	}
+	// fresh(step) == senderEpoch >= r.resetEpoch[step], written out inline to
+	// keep this (very hot) merge free of a closure allocation per call.
 	for k, v := range data {
 		if stepName, _, ok := strings.Cut(k, "."); ok {
-			if !fresh(model.StepID(stepName)) {
-				continue // includes "WF": inputs changed at a later epoch
+			if senderEpoch < r.resetEpoch[model.StepID(stepName)] {
+				continue // stale; includes "WF": inputs changed at a later epoch
 			}
 		}
 		if old, exists := r.ins.Data[k]; !exists || !old.Equal(v) {
@@ -180,7 +184,7 @@ func (a *Agent) mergeFiltered(r *replica, data map[string]expr.Value, events []s
 		sid := event.StepOfDone(name)
 		if sid != "" {
 			id := model.StepID(sid)
-			if !fresh(id) {
+			if senderEpoch < r.resetEpoch[id] {
 				continue
 			}
 			if senderEpoch > r.doneEpoch[id] {
@@ -197,20 +201,21 @@ func (a *Agent) mergeFiltered(r *replica, data map[string]expr.Value, events []s
 // their step.done event is valid (knowledge learned from packets about steps
 // executed elsewhere).
 func (a *Agent) syncStatusFromEvents(r *replica) {
-	for _, name := range r.ins.Events.ValidNames() {
+	// Unordered iteration is fine: each step's status update is independent.
+	r.ins.Events.RangeValid(func(name string) {
 		sid := event.StepOfDone(name)
 		if sid == "" {
-			continue
+			return
 		}
 		id := model.StepID(sid)
 		if r.schema.Steps[id] == nil {
-			continue
+			return
 		}
 		rec := r.ins.StepRec(id)
 		if rec.Status == wfdb.StepPending || rec.Status == wfdb.StepCompensated {
 			rec.Status = wfdb.StepDone
 		}
-	}
+	})
 }
 
 // evaluate runs the rule engine and executes fired steps this agent is the
@@ -304,7 +309,7 @@ func (a *Agent) maybeExecute(r *replica, step model.StepID) bool {
 			d = ocr.CompleteCR
 		} else {
 			var derr error
-			d, derr = ocr.Decide(s, rec, inputs, r.ins.Env())
+			d, derr = ocr.Decide(r.schema, s, rec, inputs, r.ins.Env())
 			if derr != nil {
 				a.logf("instance %s step %s: %v", r.ins.Key(), step, derr)
 			}
@@ -473,7 +478,7 @@ func (a *Agent) afterStepDone(r *replica, step model.StepID, mech metrics.Mechan
 
 	// Loop arcs: on repeat, reset the body and re-dispatch the head.
 	for _, arc := range r.schema.LoopArcs(step) {
-		cond, err := expr.Compile(arc.Cond)
+		cond, err := r.schema.CondExpr(arc.Cond)
 		if err != nil {
 			continue
 		}
@@ -576,11 +581,17 @@ func (a *Agent) forwardPacketForStepWithReset(r *replica, target model.StepID, r
 		if chosen == "" {
 			chosen = a.cfg.Name
 		}
-		a.send(chosen, mech, KindStepExecute, stepExecute{Packet: pkt.Clone(), Mechanism: mech})
+		a.send(chosen, mech, KindStepExecute, stepExecute{Packet: pkt, Mechanism: mech})
 		return
 	}
-	for _, ag := range elig {
-		a.send(ag, mech, KindStepExecute, stepExecute{Packet: pkt.Clone(), Mechanism: mech})
+	// The built packet is already a private snapshot, so the last recipient
+	// takes it as-is; only the other recipients need their own clone.
+	for i, ag := range elig {
+		p := pkt
+		if i < len(elig)-1 {
+			p = pkt.Clone()
+		}
+		a.send(ag, mech, KindStepExecute, stepExecute{Packet: p, Mechanism: mech})
 	}
 }
 
@@ -768,8 +779,16 @@ func (a *Agent) handleWorkflowRollback(p workflowRollback) {
 
 // handleHaltThread quiesces the local thread state for a rollback and
 // propagates the probe to agents of steps this agent forwarded packets to.
+// haltKey identifies one HaltThread flood for deduplication.
+type haltKey struct {
+	workflow  string
+	instance  int
+	origin    model.StepID
+	initiator string
+}
+
 func (a *Agent) handleHaltThread(p haltThread) {
-	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance) + "|" + string(p.Origin) + "|" + p.Initiator
+	key := haltKey{workflow: p.Workflow, instance: p.Instance, origin: p.Origin, initiator: p.Initiator}
 	if a.handledHalts[key] >= p.Epoch {
 		return
 	}
@@ -884,8 +903,8 @@ func (a *Agent) planCompSet(r *replica, step model.StepID) []model.StepID {
 		// the chain no-op when they hold no results, so over-inclusion is
 		// safe.
 		rec := r.ins.Steps[id]
-		executed := r.ins.Events.Count(event.DoneName(string(id))) > 0 &&
-			!r.ins.Events.Has(event.CompensatedName(string(id)))
+		executed := r.ins.Events.Count(r.schema.DoneEventOf(id)) > 0 &&
+			!r.ins.Events.Has(r.schema.CompEventOf(id))
 		if executed || (rec != nil && rec.HasResult) {
 			later = append(later, id)
 		}
@@ -927,8 +946,8 @@ func (a *Agent) handleCompensateSet(p compensateSet) {
 		if rec := r.ins.Steps[id]; rec != nil && rec.HasResult {
 			r.ins.RecordCompensated(id)
 		} else {
-			r.ins.Events.Invalidate(event.DoneName(string(id)))
-			r.ins.Events.Post(event.CompensatedName(string(id)))
+			r.ins.Events.Invalidate(r.schema.DoneEventOf(id))
+			r.ins.Events.Post(r.schema.CompEventOf(id))
 		}
 	}
 	if len(p.StepList) == 0 {
@@ -1009,7 +1028,7 @@ func (a *Agent) handleCompensateThread(p compensateThread) {
 		a.compensateLocal(r, p.Step, model.ModeCompensate, p.Mechanism)
 	} else {
 		// Not executed here; drop stale knowledge so commit logic is clean.
-		r.ins.Events.Invalidate(event.DoneName(string(p.Step)))
+		r.ins.Events.Invalidate(r.schema.DoneEventOf(p.Step))
 		if rec != nil && rec.Status == wfdb.StepDone {
 			rec.Status = wfdb.StepPending
 		}
@@ -1465,7 +1484,7 @@ func (a *Agent) handleStepStatusReply(p stepStatusReply) {
 		if s == nil || s.Update {
 			return
 		}
-		if r.ins.Events.Has(event.DoneName(string(p.Step))) {
+		if r.ins.Events.Has(r.schema.DoneEventOf(p.Step)) {
 			return
 		}
 		target := nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, p.Step, a.net.Alive)

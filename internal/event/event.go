@@ -128,17 +128,30 @@ type entry struct {
 	valid bool
 }
 
+// Observer receives every table mutation: posted is true for Post (the
+// event's occurrence count grew), false for an invalidation; wasValid and
+// nowValid frame the validity transition. Observers must not mutate the
+// table from the callback.
+type Observer func(name string, posted, wasValid, nowValid bool)
+
 // Table is the per-instance event table. It is not safe for concurrent use;
 // each owner (engine or agent goroutine) serializes access.
 type Table struct {
 	entries map[string]entry
 	seq     int // bumps on every mutation; used to detect staleness cheaply
+	obs     Observer
 }
 
 // NewTable returns an empty event table.
 func NewTable() *Table {
 	return &Table{entries: make(map[string]entry)}
 }
+
+// SetObserver installs the mutation observer (nil removes it). A table has
+// at most one observer — the rule engine bound to it — which is how bound
+// engines track rule satisfaction incrementally. Clones and imported tables
+// start with no observer.
+func (t *Table) SetObserver(fn Observer) { t.obs = fn }
 
 // Post records an occurrence of the named event and returns true if this
 // changed the table (the event was previously absent or invalidated).
@@ -149,6 +162,9 @@ func (t *Table) Post(name string) bool {
 	e.valid = true
 	t.entries[name] = e
 	t.seq++
+	if t.obs != nil {
+		t.obs(name, true, !changed, true)
+	}
 	return changed
 }
 
@@ -172,6 +188,9 @@ func (t *Table) Invalidate(name string) bool {
 	e.valid = false
 	t.entries[name] = e
 	t.seq++
+	if t.obs != nil {
+		t.obs(name, false, true, false)
+	}
 	return true
 }
 
@@ -184,12 +203,26 @@ func (t *Table) InvalidateWhere(pred func(name string) bool) int {
 			e.valid = false
 			t.entries[name] = e
 			n++
+			if t.obs != nil {
+				t.obs(name, false, true, false)
+			}
 		}
 	}
 	if n > 0 {
 		t.seq++
 	}
 	return n
+}
+
+// RangeValid calls fn for every valid event, in unspecified order, without
+// allocating. Callers needing deterministic order use ValidNames. fn must not
+// mutate the table.
+func (t *Table) RangeValid(fn func(name string)) {
+	for name, e := range t.entries {
+		if e.valid {
+			fn(name)
+		}
+	}
 }
 
 // ValidNames returns the sorted names of all valid events. This is the event

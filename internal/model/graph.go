@@ -2,10 +2,18 @@ package model
 
 import "sort"
 
+// The derived graph views below are answered from the frozen index when the
+// schema has been validated (see index.go); the compute* fallbacks preserve
+// the original from-scratch semantics for unvalidated schemas. Returned
+// slices and maps may be shared cache entries: callers must not mutate them.
+
 // StartSteps returns the steps with no incoming (non-loop) control arc: the
 // steps triggered directly by the workflow.start event. Order follows
 // definition order.
 func (s *Schema) StartSteps() []StepID {
+	if ix := s.index(); ix != nil {
+		return ix.starts
+	}
 	hasIn := make(map[StepID]bool)
 	for _, a := range s.Arcs {
 		if a.Kind == Control && !a.Loop {
@@ -25,6 +33,9 @@ func (s *Schema) StartSteps() []StepID {
 // the last step along each path. Their agents act as termination agents and
 // report StepCompleted to the coordination agent.
 func (s *Schema) TerminalSteps() []StepID {
+	if ix := s.index(); ix != nil {
+		return ix.terminals
+	}
 	hasOut := make(map[StepID]bool)
 	for _, a := range s.Arcs {
 		if a.Kind == Control && !a.Loop {
@@ -43,6 +54,9 @@ func (s *Schema) TerminalSteps() []StepID {
 // ControlSuccessors returns the non-loop control successors of a step, with
 // the arcs (so callers can evaluate branch conditions), in arc order.
 func (s *Schema) ControlSuccessors(id StepID) []Arc {
+	if ix := s.index(); ix != nil {
+		return ix.succ[id]
+	}
 	var out []Arc
 	for _, a := range s.Arcs {
 		if a.Kind == Control && !a.Loop && a.From == id {
@@ -54,6 +68,9 @@ func (s *Schema) ControlSuccessors(id StepID) []Arc {
 
 // LoopArcs returns the loop back-arcs out of a step.
 func (s *Schema) LoopArcs(id StepID) []Arc {
+	if ix := s.index(); ix != nil {
+		return ix.loops[id]
+	}
 	var out []Arc
 	for _, a := range s.Arcs {
 		if a.Kind == Control && a.Loop && a.From == id {
@@ -65,6 +82,9 @@ func (s *Schema) LoopArcs(id StepID) []Arc {
 
 // ControlPredecessors returns the non-loop control predecessors of a step.
 func (s *Schema) ControlPredecessors(id StepID) []StepID {
+	if ix := s.index(); ix != nil {
+		return ix.preds[id]
+	}
 	var out []StepID
 	for _, a := range s.Arcs {
 		if a.Kind == Control && !a.Loop && a.To == id {
@@ -112,8 +132,14 @@ func (s *Schema) IsConfluence(id StepID) bool {
 
 // Descendants returns every step reachable from id by non-loop control arcs,
 // excluding id itself. This is the set of steps whose events a HaltThread /
-// rollback starting at id must invalidate.
+// rollback starting at id must invalidate. The result may be a shared cache
+// entry: treat it as read-only.
 func (s *Schema) Descendants(id StepID) map[StepID]bool {
+	if ix := s.index(); ix != nil {
+		if d, ok := ix.desc[id]; ok {
+			return d
+		}
+	}
 	out := make(map[StepID]bool)
 	var visit func(StepID)
 	visit = func(cur StepID) {
@@ -128,9 +154,14 @@ func (s *Schema) Descendants(id StepID) map[StepID]bool {
 	return out
 }
 
-// DescendantsInclusive is Descendants plus the origin itself.
+// DescendantsInclusive is Descendants plus the origin itself. The result is
+// always a fresh map owned by the caller.
 func (s *Schema) DescendantsInclusive(id StepID) map[StepID]bool {
-	out := s.Descendants(id)
+	desc := s.Descendants(id)
+	out := make(map[StepID]bool, len(desc)+1)
+	for k, v := range desc {
+		out[k] = v
+	}
 	out[id] = true
 	return out
 }
@@ -187,6 +218,13 @@ func (s *Schema) LoopBody(head, tail StepID) []StepID {
 // given step's inputs. The rule triggering a step requires step.done events
 // from these steps in addition to its control predecessors.
 func (s *Schema) DataSourceSteps(id StepID) []StepID {
+	if ix := s.index(); ix != nil {
+		return ix.dataSrc[id]
+	}
+	return s.computeDataSourceSteps(id)
+}
+
+func (s *Schema) computeDataSourceSteps(id StepID) []StepID {
 	st := s.Steps[id]
 	if st == nil {
 		return nil
@@ -216,6 +254,9 @@ func (s *Schema) DataSourceSteps(id StepID) []StepID {
 // ProducerOf returns the step that produces the named data item, or "" if the
 // item is a workflow input or unknown.
 func (s *Schema) ProducerOf(item string) StepID {
+	if ix := s.index(); ix != nil {
+		return ix.producer[item]
+	}
 	for _, id := range s.Order {
 		for _, out := range s.Steps[id].Outputs {
 			if id.Ref(out) == item {
@@ -230,6 +271,13 @@ func (s *Schema) ProducerOf(item string) StepID {
 // graph. Validation guarantees acyclicity, so this always covers all steps;
 // ties break by definition order.
 func (s *Schema) TopoOrder() []StepID {
+	if ix := s.index(); ix != nil {
+		return ix.topo
+	}
+	return s.computeTopoOrder()
+}
+
+func (s *Schema) computeTopoOrder() []StepID {
 	indeg := make(map[StepID]int, len(s.Steps))
 	for _, id := range s.Order {
 		indeg[id] = 0

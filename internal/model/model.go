@@ -166,6 +166,10 @@ type Schema struct {
 	// aborted by the user (the paper's w parameter); if nil, every executed
 	// compensable step is compensated.
 	AbortCompensate []StepID
+
+	// idx caches the derived graph views and compiled conditions; set by
+	// freeze() on successful validation, dropped by mutation (see index.go).
+	idx idxHolder
 }
 
 // Step returns the step with the given ID, or nil.
@@ -191,10 +195,14 @@ func (s *Schema) AddStep(st *Step) {
 		s.Order = append(s.Order, st.ID)
 	}
 	s.Steps[st.ID] = st
+	s.invalidateIndex()
 }
 
 // AddArc appends an arc.
-func (s *Schema) AddArc(a Arc) { s.Arcs = append(s.Arcs, a) }
+func (s *Schema) AddArc(a Arc) {
+	s.Arcs = append(s.Arcs, a)
+	s.invalidateIndex()
+}
 
 // Clone returns a deep copy of the schema.
 func (s *Schema) Clone() *Schema {

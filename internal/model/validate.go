@@ -168,6 +168,7 @@ func (s *Schema) Validate() error {
 	if len(probs) > 0 {
 		return &ValidationError{Subject: "schema " + s.Name, Problems: probs}
 	}
+	s.freeze()
 	return nil
 }
 

@@ -9,13 +9,22 @@ package nav
 import (
 	"hash/fnv"
 	"sort"
+	"sync"
 
-	"crew/internal/event"
-	"crew/internal/expr"
 	"crew/internal/model"
 	"crew/internal/rules"
 	"crew/internal/wfdb"
 )
+
+// ptScratch pools the reachability working set of PotentialTerminals, which
+// runs on every commit check of every engine round — the hottest navigation
+// query in all three architectures.
+var ptScratch = sync.Pool{New: func() any { return new(ptState) }}
+
+type ptState struct {
+	reach    map[model.StepID]bool
+	frontier []model.StepID
+}
 
 // PotentialTerminals returns the terminal steps of the schema that are still
 // potentially reachable given the instance's current state:
@@ -30,20 +39,24 @@ import (
 // executed — the coordination agent's commit test.
 func PotentialTerminals(s *model.Schema, ins *wfdb.Instance) []model.StepID {
 	env := ins.Env()
-	reach := make(map[model.StepID]bool)
-	var frontier []model.StepID
+	sc := ptScratch.Get().(*ptState)
+	if sc.reach == nil {
+		sc.reach = make(map[model.StepID]bool, len(s.Order))
+	} else {
+		clear(sc.reach)
+	}
+	reach, frontier := sc.reach, sc.frontier[:0]
 	for _, id := range s.StartSteps() {
 		reach[id] = true
 		frontier = append(frontier, id)
 	}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
+	for i := 0; i < len(frontier); i++ {
+		cur := frontier[i]
 		executed := ins.Executed(cur)
 		for _, a := range s.ControlSuccessors(cur) {
 			include := true
 			if executed && a.Cond != "" {
-				e, err := expr.Compile(a.Cond)
+				e, err := s.CondExpr(a.Cond)
 				if err == nil {
 					if ok, evalErr := e.EvalBool(env); evalErr == nil {
 						include = ok
@@ -62,6 +75,8 @@ func PotentialTerminals(s *model.Schema, ins *wfdb.Instance) []model.StepID {
 			out = append(out, id)
 		}
 	}
+	sc.frontier = frontier
+	ptScratch.Put(sc)
 	return out
 }
 
@@ -107,19 +122,12 @@ func InvalidationSet(s *model.Schema, origin model.StepID) []model.StepID {
 func ResetSteps(ins *wfdb.Instance, eng *rules.Engine, steps []model.StepID) int {
 	n := 0
 	for _, id := range steps {
-		if ins.Events.Invalidate(event.DoneName(string(id))) {
-			n++
-		}
-		if ins.Events.Invalidate(event.FailName(string(id))) {
-			n++
-		}
+		n += ins.ResetStepEvents(id)
 		if r := ins.Steps[id]; r != nil && (r.Status == wfdb.StepDone || r.Status == wfdb.StepFailed || r.Status == wfdb.StepExecuting) {
 			r.Status = wfdb.StepPending
 		}
 		if eng != nil {
-			eng.RearmWhere(func(ruleID string) bool {
-				return rules.IsExecRuleFor(ruleID, id)
-			})
+			eng.RearmExecRules(id)
 		}
 	}
 	return n
@@ -193,7 +201,7 @@ func ActiveBranchTargets(s *model.Schema, ins *wfdb.Instance, from model.StepID)
 			out = append(out, a.To)
 			continue
 		}
-		e, err := expr.Compile(a.Cond)
+		e, err := s.CondExpr(a.Cond)
 		if err != nil {
 			continue
 		}

@@ -99,15 +99,22 @@ func InputsChanged(prev, next map[string]expr.Value) bool {
 }
 
 // Decide implements the decision core of the OCR algorithm for one step.
-// data is the instance data environment; newInputs are the inputs the step
-// would execute with now.
-func Decide(st *model.Step, rec *wfdb.StepRecord, newInputs map[string]expr.Value, data expr.Env) (Decision, error) {
+// s is the step's schema (it serves the compiled re-execution condition; a
+// nil schema compiles on the fly); data is the instance data environment;
+// newInputs are the inputs the step would execute with now.
+func Decide(s *model.Schema, st *model.Step, rec *wfdb.StepRecord, newInputs map[string]expr.Value, data expr.Env) (Decision, error) {
 	if rec == nil || !rec.HasResult {
 		return ExecuteFresh, nil
 	}
 	needReexec := false
 	if st.ReexecCond != "" {
-		cond, err := expr.Compile(st.ReexecCond)
+		var cond *expr.Expr
+		var err error
+		if s != nil {
+			cond, err = s.CondExpr(st.ReexecCond)
+		} else {
+			cond, err = expr.Compile(st.ReexecCond)
+		}
 		if err != nil {
 			return CompleteCR, fmt.Errorf("ocr: step %s condition: %w", st.ID, err)
 		}

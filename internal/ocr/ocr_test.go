@@ -37,14 +37,14 @@ func TestDecisionString(t *testing.T) {
 }
 
 func TestDecideFreshWhenNoRecord(t *testing.T) {
-	d, err := Decide(step(), nil, nil, nil)
+	d, err := Decide(nil, step(), nil, nil, nil)
 	if err != nil || d != ExecuteFresh {
 		t.Errorf("Decide(nil rec) = (%v, %v)", d, err)
 	}
 	// Compensated or failed records also mean fresh execution.
 	for _, status := range []wfdb.StepStatus{wfdb.StepCompensated, wfdb.StepFailed, wfdb.StepPending} {
 		rec := &wfdb.StepRecord{Status: status}
-		d, err := Decide(step(), rec, nil, nil)
+		d, err := Decide(nil, step(), rec, nil, nil)
 		if err != nil || d != ExecuteFresh {
 			t.Errorf("Decide(status=%v) = (%v, %v)", status, d, err)
 		}
@@ -54,7 +54,7 @@ func TestDecideFreshWhenNoRecord(t *testing.T) {
 func TestDecideDefaultReusesWhenInputsUnchanged(t *testing.T) {
 	in := map[string]expr.Value{"WF.I1": expr.Num(5)}
 	rec := doneRec(in, map[string]expr.Value{"O1": expr.Num(9)})
-	d, err := Decide(step(), rec, map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
+	d, err := Decide(nil, step(), rec, map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
 	if err != nil || d != Reuse {
 		t.Errorf("unchanged inputs = (%v, %v), want Reuse", d, err)
 	}
@@ -62,7 +62,7 @@ func TestDecideDefaultReusesWhenInputsUnchanged(t *testing.T) {
 
 func TestDecideDefaultReexecutesWhenInputsChanged(t *testing.T) {
 	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
-	d, err := Decide(step(), rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
+	d, err := Decide(nil, step(), rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
 	if err != nil || d != CompleteCR {
 		t.Errorf("changed inputs = (%v, %v), want CompleteCR", d, err)
 	}
@@ -71,7 +71,7 @@ func TestDecideDefaultReexecutesWhenInputsChanged(t *testing.T) {
 func TestDecideIncrementalWhenSupported(t *testing.T) {
 	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(5)}, nil)
 	st := step(model.WithIncremental())
-	d, err := Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
+	d, err := Decide(nil, st, rec, map[string]expr.Value{"WF.I1": expr.Num(6)}, nil)
 	if err != nil || d != IncrementalCR {
 		t.Errorf("incremental step = (%v, %v), want IncrementalCR", d, err)
 	}
@@ -83,11 +83,11 @@ func TestDecideExplicitCondition(t *testing.T) {
 	st := step(model.WithReexecCond("WF.I1 > prev.WF.I1"))
 	rec := doneRec(map[string]expr.Value{"WF.I1": expr.Num(10)}, map[string]expr.Value{"O1": expr.Num(1)})
 
-	d, err := Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(7)}, expr.MapEnv{})
+	d, err := Decide(nil, st, rec, map[string]expr.Value{"WF.I1": expr.Num(7)}, expr.MapEnv{})
 	if err != nil || d != Reuse {
 		t.Errorf("smaller quantity = (%v, %v), want Reuse", d, err)
 	}
-	d, err = Decide(st, rec, map[string]expr.Value{"WF.I1": expr.Num(12)}, expr.MapEnv{})
+	d, err = Decide(nil, st, rec, map[string]expr.Value{"WF.I1": expr.Num(12)}, expr.MapEnv{})
 	if err != nil || d != CompleteCR {
 		t.Errorf("larger quantity = (%v, %v), want CompleteCR", d, err)
 	}
@@ -97,12 +97,12 @@ func TestDecideConditionSeesPrevOutputs(t *testing.T) {
 	st := step(model.WithReexecCond("prev.S2.O1 < WF.I1"))
 	rec := doneRec(nil, map[string]expr.Value{"O1": expr.Num(3)})
 	data := expr.MapEnv{"WF.I1": expr.Num(5)}
-	d, err := Decide(st, rec, nil, data)
+	d, err := Decide(nil, st, rec, nil, data)
 	if err != nil || d != CompleteCR {
 		t.Errorf("prev output condition = (%v, %v), want CompleteCR", d, err)
 	}
 	data["WF.I1"] = expr.Num(2)
-	d, err = Decide(st, rec, nil, data)
+	d, err = Decide(nil, st, rec, nil, data)
 	if err != nil || d != Reuse {
 		t.Errorf("prev output condition = (%v, %v), want Reuse", d, err)
 	}
@@ -111,7 +111,7 @@ func TestDecideConditionSeesPrevOutputs(t *testing.T) {
 func TestDecideUnevaluableConditionFallsBackConservatively(t *testing.T) {
 	st := step(model.WithReexecCond(`"s" < 1`))
 	rec := doneRec(nil, nil)
-	d, err := Decide(st, rec, nil, expr.MapEnv{})
+	d, err := Decide(nil, st, rec, nil, expr.MapEnv{})
 	if err == nil {
 		t.Error("expected error for unevaluable condition")
 	}
@@ -120,7 +120,7 @@ func TestDecideUnevaluableConditionFallsBackConservatively(t *testing.T) {
 	}
 	st2 := step()
 	st2.ReexecCond = "1 +"
-	d, err = Decide(st2, rec, nil, expr.MapEnv{})
+	d, err = Decide(nil, st2, rec, nil, expr.MapEnv{})
 	if err == nil || d != CompleteCR {
 		t.Errorf("uncompilable condition = (%v, %v)", d, err)
 	}
@@ -313,7 +313,7 @@ func TestPropertyPlanIsReverseSuffix(t *testing.T) {
 func TestDecideErrorMessagesNameTheStep(t *testing.T) {
 	st := step(model.WithReexecCond("1 +"))
 	st.ReexecCond = "1 +"
-	_, err := Decide(st, doneRec(nil, nil), nil, nil)
+	_, err := Decide(nil, st, doneRec(nil, nil), nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "S2") {
 		t.Errorf("error should name the step: %v", err)
 	}

@@ -27,8 +27,48 @@ func IsExecRuleFor(id string, step model.StepID) bool {
 	return len(id) > len(prefix) && id[:len(prefix)] == prefix && id[len(prefix)] == '#'
 }
 
-// StepRules generates the execution rules for one step of a schema, per the
-// paper's navigation semantics:
+// templates is the per-schema cache of generated rules, stored in the
+// schema's TemplateCache slot. Templates are immutable: engines clone on
+// AddRule, and clones copy-on-write their Events before extending them.
+type templates struct {
+	all    []*Rule
+	byStep map[model.StepID][]*Rule
+}
+
+// templatesOf returns the schema's (possibly cached) generated rule set.
+// Frozen schemas memoize; mutated/unvalidated schemas regenerate per call.
+func templatesOf(s *model.Schema) *templates {
+	slot := s.TemplateCache()
+	if slot != nil {
+		if v := slot.Load(); v != nil {
+			return v.(*templates)
+		}
+	}
+	t := &templates{byStep: make(map[model.StepID][]*Rule, len(s.Order))}
+	for _, id := range s.Order {
+		rs := generateStepRules(s, id)
+		t.byStep[id] = rs
+		t.all = append(t.all, rs...)
+	}
+	if slot != nil {
+		slot.Store(t)
+	}
+	return t
+}
+
+// StepRules returns the execution rules for one step of a schema, per the
+// paper's navigation semantics (see generateStepRules). The returned rules
+// are shared templates: install them with Engine.AddRule (which clones) and
+// do not mutate them.
+func StepRules(s *model.Schema, id model.StepID) []*Rule {
+	if s.Steps[id] == nil {
+		return nil
+	}
+	return templatesOf(s).byStep[id]
+}
+
+// generateStepRules generates the execution rules for one step of a schema,
+// per the paper's navigation semantics:
 //
 //   - start steps (no incoming control arc) are triggered by workflow.start;
 //   - a step on a sequential path requires the step.done event of its
@@ -42,7 +82,7 @@ func IsExecRuleFor(id string, step model.StepID) bool {
 //
 // Loop back-arcs generate no rules: loop re-entry is driven by the
 // navigation layer, which invalidates body events and re-dispatches the head.
-func StepRules(s *model.Schema, id model.StepID) []*Rule {
+func generateStepRules(s *model.Schema, id model.StepID) []*Rule {
 	st := s.Steps[id]
 	if st == nil {
 		return nil
@@ -138,20 +178,18 @@ func StepRules(s *model.Schema, id model.StepID) []*Rule {
 	return out
 }
 
-// SchemaRules generates the execution rules for every step of the schema, in
+// SchemaRules returns the execution rules for every step of the schema, in
 // definition order. This is the compiled general-rule table instantiated for
-// each new workflow instance.
+// each new workflow instance; for frozen schemas it is generated once and
+// shared (engines clone on install).
 func SchemaRules(s *model.Schema) []*Rule {
-	var out []*Rule
-	for _, id := range s.Order {
-		out = append(out, StepRules(s, id)...)
-	}
-	return out
+	return templatesOf(s).all
 }
 
-// InstallSchemaRules adds all schema rules to an engine.
+// InstallSchemaRules adds all schema rules to an engine. The shared
+// templates are installed without copying (see Engine.InstallRule).
 func InstallSchemaRules(e *Engine, s *model.Schema) {
 	for _, r := range SchemaRules(s) {
-		e.AddRule(r)
+		e.InstallRule(r)
 	}
 }

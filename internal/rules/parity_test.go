@@ -1,0 +1,189 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crew/internal/event"
+	"crew/internal/expr"
+)
+
+// twin drives an indexed engine (bound to its table) and a scan engine (the
+// unbound reference) through identical mutations and fails the test the first
+// time their fired-rule sequences diverge.
+type twin struct {
+	t        *testing.T
+	idx, ref *Engine
+	itab     *event.Table
+	rtab     *event.Table
+	env      expr.MapEnv
+}
+
+func newTwin(t *testing.T) *twin {
+	tw := &twin{
+		t: t, idx: NewEngine(), ref: NewEngine(),
+		itab: event.NewTable(), rtab: event.NewTable(),
+		env: expr.MapEnv{},
+	}
+	tw.idx.Bind(tw.itab)
+	return tw
+}
+
+func (tw *twin) add(r *Rule) {
+	tw.idx.AddRule(r)
+	tw.ref.AddRule(r)
+}
+
+func (tw *twin) post(name string) {
+	tw.itab.Post(name)
+	tw.rtab.Post(name)
+}
+
+func (tw *twin) invalidate(name string) {
+	tw.itab.Invalidate(name)
+	tw.rtab.Invalidate(name)
+}
+
+// eval evaluates both engines and asserts identical firing order.
+func (tw *twin) eval(when string) []string {
+	tw.t.Helper()
+	got, gerr := tw.idx.Evaluate(tw.itab, tw.env)
+	want, werr := tw.ref.EvaluateScan(tw.rtab, tw.env)
+	if (gerr == nil) != (werr == nil) {
+		tw.t.Fatalf("%s: indexed err=%v, scan err=%v", when, gerr, werr)
+	}
+	ids := func(rs []*Rule) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = r.ID
+		}
+		return out
+	}
+	g, w := ids(got), ids(want)
+	if len(g) != len(w) {
+		tw.t.Fatalf("%s: indexed fired %v, scan fired %v", when, g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			tw.t.Fatalf("%s: indexed fired %v, scan fired %v", when, g, w)
+		}
+	}
+	return g
+}
+
+func TestIndexedMatchesScanBasics(t *testing.T) {
+	tw := newTwin(t)
+	cond := expr.MustCompile(`WF.x > 3`)
+	tw.add(execRule("r1", "a.done"))
+	tw.add(&Rule{ID: "r2", Events: []string{"a.done", "b.done"}, Action: Action{Kind: ActExecute, Step: "S2"}})
+	tw.add(&Rule{ID: "r3", Events: []string{"b.done"}, Precond: cond, Action: Action{Kind: ActExecute, Step: "S3"}})
+
+	tw.eval("empty table")
+	tw.post("a.done")
+	if got := tw.eval("a.done"); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("fired %v, want [r1]", got)
+	}
+	tw.post("b.done")
+	// r2 becomes satisfied; r3's precondition is still false (x unset).
+	if got := tw.eval("b.done"); len(got) != 1 || got[0] != "r2" {
+		t.Fatalf("fired %v, want [r2]", got)
+	}
+	// Data-only change: no event traffic, but r3's precondition turns true.
+	tw.env["WF.x"] = expr.Num(5)
+	if got := tw.eval("data change"); len(got) != 1 || got[0] != "r3" {
+		t.Fatalf("fired %v, want [r3]", got)
+	}
+	tw.eval("steady state")
+
+	// Rollback shape: invalidate and re-post re-fires in insertion order.
+	tw.invalidate("a.done")
+	tw.invalidate("b.done")
+	tw.eval("after invalidation")
+	tw.post("a.done")
+	tw.post("b.done")
+	if got := tw.eval("refire"); len(got) != 3 {
+		t.Fatalf("refire fired %v, want all three", got)
+	}
+}
+
+func TestIndexedMatchesScanDynamicRuleSet(t *testing.T) {
+	tw := newTwin(t)
+	tw.add(execRule("r1", "a.done"))
+	tw.post("a.done")
+	tw.eval("r1 fires")
+
+	// Replacement keeps the firing position; the strengthened form re-arms.
+	tw.add(&Rule{ID: "r1", Events: []string{"a.done", "c.done"}, Action: Action{Kind: ActExecute, Step: "S1"}})
+	tw.add(execRule("r0", "c.done"))
+	tw.eval("after replace")
+	tw.post("c.done")
+	if got := tw.eval("c.done"); len(got) != 2 || got[0] != "r1" || got[1] != "r0" {
+		t.Fatalf("fired %v, want [r1 r0] (replacement keeps insertion position)", got)
+	}
+
+	// AddPrecondition on both engines, then satisfy it.
+	if err := tw.idx.AddPrecondition("r0", []string{"d.done"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.ref.AddPrecondition("r0", []string{"d.done"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tw.eval("strengthened")
+	tw.post("d.done")
+	if got := tw.eval("d.done"); len(got) != 1 || got[0] != "r0" {
+		t.Fatalf("fired %v, want [r0]", got)
+	}
+
+	// Removal drops any armed entry.
+	tw.idx.RemoveRule("r1")
+	tw.ref.RemoveRule("r1")
+	tw.invalidate("a.done")
+	tw.post("a.done")
+	tw.eval("after removal")
+
+	// Rearm re-fires on the current table state.
+	tw.idx.Rearm("r0")
+	tw.ref.Rearm("r0")
+	if got := tw.eval("rearm"); len(got) != 1 || got[0] != "r0" {
+		t.Fatalf("fired %v, want [r0]", got)
+	}
+}
+
+// TestIndexedMatchesScanRandomized drives both paths through a seeded random
+// mutation script — posts, invalidations, data flips, rearms — over a rule
+// set with overlapping event subscriptions and preconditions.
+func TestIndexedMatchesScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tw := newTwin(t)
+	events := []string{"a.done", "b.done", "c.done", "d.done", "e.done"}
+	cond := expr.MustCompile(`WF.flag == 1`)
+	for i := 0; i < 24; i++ {
+		evs := []string{events[i%len(events)]}
+		if i%3 == 0 {
+			evs = append(evs, events[(i+2)%len(events)])
+		}
+		r := &Rule{ID: fmt.Sprintf("r%02d", i), Events: evs, Action: Action{Kind: ActExecute, Step: "S"}}
+		if i%4 == 0 {
+			r.Precond = cond
+		}
+		tw.add(r)
+	}
+	tw.env["WF.flag"] = expr.Num(0)
+	for step := 0; step < 400; step++ {
+		ev := events[rng.Intn(len(events))]
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			tw.post(ev)
+		case 3:
+			tw.invalidate(ev)
+		case 4:
+			tw.env["WF.flag"] = expr.Num(float64(rng.Intn(2)))
+		case 5:
+			id := fmt.Sprintf("r%02d", rng.Intn(24))
+			tw.idx.Rearm(id)
+			tw.ref.Rearm(id)
+		}
+		tw.eval(fmt.Sprintf("step %d", step))
+	}
+}

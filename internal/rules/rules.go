@@ -11,16 +11,41 @@
 // at fire time, so a rule fires again only after one of its events has been
 // re-posted (which is what happens when a rollback invalidates events and
 // re-execution posts them anew).
+//
+// # Reactive evaluation
+//
+// An engine Bound to its instance's event table dispatches reactively
+// instead of scanning: an event→rules inverted index records which rules
+// subscribe to each event, and a per-rule satisfied count is maintained
+// incrementally from table mutations (the table notifies its observer on
+// every post and invalidation). Rules whose events are all valid and whose
+// firing memory does not cover the current event counts sit on the armed
+// agenda; Evaluate examines only that agenda, re-checking preconditions of
+// armed rules until they fire (data-only changes can make a precondition
+// true without any event traffic, exactly as under the scan semantics).
+// Firing order is deterministic: the agenda is drained in rule insertion
+// order, byte-identical to the scan path (EvaluateScan keeps the original
+// implementation as the reference; SetScanOnly forces it globally for
+// equivalence testing).
 package rules
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"crew/internal/event"
 	"crew/internal/expr"
 	"crew/internal/model"
 )
+
+// scanOnly forces every Evaluate through the reference scan path; the
+// equivalence tests flip it to prove the indexed path fires identically.
+var scanOnly atomic.Bool
+
+// SetScanOnly globally disables (true) or re-enables (false) the indexed
+// evaluation path. Intended for tests; safe to call concurrently.
+func SetScanOnly(v bool) { scanOnly.Store(v) }
 
 // ActionKind classifies what a fired rule triggers.
 type ActionKind int
@@ -77,14 +102,30 @@ type Rule struct {
 	// firedMark is the sum of required-event counts at the last firing;
 	// -1 if never fired.
 	firedMark int
+
+	// Engine-maintained incremental state (meaningful only while the owning
+	// engine is bound to an event table):
+	idx       int  // position in the engine's rule slice (insertion order)
+	curMark   int  // current sum of required-event counts
+	satisfied int  // required-event occurrences currently valid
+	queued    bool // on the armed agenda
 }
 
-// clone returns a shallow copy with firing state reset.
-func (r *Rule) clone() *Rule {
-	c := *r
-	c.Events = append([]string(nil), r.Events...)
+// cloneShared returns a shallow copy with firing state reset. The Events
+// slice is shared copy-on-write: AddPrecondition reallocates before
+// extending it. Only safe for immutable template rules (InstallRule).
+func (r *Rule) cloneShared() *Rule {
+	c := &Rule{ID: r.ID, Events: r.Events, Precond: r.Precond, Action: r.Action}
 	c.firedMark = -1
-	return &c
+	return c
+}
+
+// clone additionally copies the Events slice, insulating the engine from
+// callers that reuse or mutate the rule they passed to AddRule.
+func (r *Rule) clone() *Rule {
+	c := r.cloneShared()
+	c.Events = append([]string(nil), r.Events...)
+	return c
 }
 
 // Engine is the per-instance rule engine holding the general-rule table.
@@ -94,6 +135,11 @@ func (r *Rule) clone() *Rule {
 type Engine struct {
 	rules []*Rule
 	byID  map[string]*Rule
+
+	// Reactive state (see Bind).
+	tab     *event.Table
+	byEvent map[string][]*Rule
+	armed   []*Rule
 }
 
 // NewEngine returns an empty rule engine.
@@ -101,22 +147,141 @@ func NewEngine() *Engine {
 	return &Engine{byID: make(map[string]*Rule)}
 }
 
-// AddRule is the AddRule() primitive: it installs a rule into the instance's
-// rule set. Adding an ID that already exists replaces the old rule (the rule
-// set is "dynamically modified").
-func (e *Engine) AddRule(r *Rule) {
-	nr := r.clone()
-	if old, ok := e.byID[nr.ID]; ok {
-		for i, existing := range e.rules {
-			if existing == old {
-				e.rules[i] = nr
-				break
+// Bind attaches the engine to its instance's event table: the engine
+// subscribes to table mutations and maintains per-rule satisfied counts
+// incrementally, so Evaluate against the bound table dispatches from the
+// armed agenda instead of scanning every rule. A table feeds at most one
+// engine (per-instance ownership); rebinding replaces the subscription.
+func (e *Engine) Bind(tab *event.Table) {
+	e.tab = tab
+	e.armed = e.armed[:0]
+	tab.SetObserver(e.onEvent)
+	for _, r := range e.rules {
+		e.recount(r)
+	}
+}
+
+// Bound returns the event table the engine is bound to, or nil.
+func (e *Engine) Bound() *event.Table { return e.tab }
+
+// onEvent is the table observer: it folds one mutation into the subscribed
+// rules' counters and arms any rule that became fireable.
+func (e *Engine) onEvent(name string, posted, wasValid, nowValid bool) {
+	for _, r := range e.byEvent[name] {
+		if posted {
+			r.curMark++
+		}
+		if nowValid && !wasValid {
+			r.satisfied++
+		} else if wasValid && !nowValid {
+			r.satisfied--
+		}
+		e.maybeArm(r)
+	}
+}
+
+// recount recomputes a rule's counters from the bound table and arms it if
+// fireable. Used on Bind and rule installation; steady-state maintenance is
+// incremental via onEvent.
+func (e *Engine) recount(r *Rule) {
+	if e.tab == nil {
+		return
+	}
+	r.curMark, r.satisfied = 0, 0
+	for _, ev := range r.Events {
+		r.curMark += e.tab.Count(ev)
+		if e.tab.Has(ev) {
+			r.satisfied++
+		}
+	}
+	e.maybeArm(r)
+}
+
+// spent reports whether the rule's firing memory covers the current event
+// counts: it must not fire again until an event is re-posted (or Rearm).
+func (r *Rule) spent() bool {
+	if r.firedMark == -1 {
+		return false
+	}
+	if len(r.Events) == 0 {
+		return true // eventless rules fire at most once
+	}
+	return r.firedMark == r.curMark
+}
+
+// maybeArm puts a fireable rule on the agenda. Rules leave the agenda only
+// inside Evaluate (when fired or found stale), so a rule whose precondition
+// is not yet true stays armed and is re-checked on every round — matching
+// the scan semantics for data-only changes.
+func (e *Engine) maybeArm(r *Rule) {
+	if e.tab == nil || r.queued {
+		return
+	}
+	if r.satisfied != len(r.Events) || r.spent() {
+		return
+	}
+	r.queued = true
+	e.armed = append(e.armed, r)
+}
+
+// subscribe registers the rule in the inverted index, one entry per
+// required-event occurrence.
+func (e *Engine) subscribe(r *Rule, events []string) {
+	if len(events) == 0 {
+		return
+	}
+	if e.byEvent == nil {
+		e.byEvent = make(map[string][]*Rule)
+	}
+	for _, ev := range events {
+		e.byEvent[ev] = append(e.byEvent[ev], r)
+	}
+}
+
+// unsubscribe removes every index entry of the rule.
+func (e *Engine) unsubscribe(r *Rule) {
+	for _, ev := range r.Events {
+		subs := e.byEvent[ev]
+		kept := subs[:0]
+		for _, s := range subs {
+			if s != r {
+				kept = append(kept, s)
 			}
 		}
+		e.byEvent[ev] = kept
+	}
+}
+
+// AddRule is the AddRule() primitive: it installs a rule into the instance's
+// rule set. Adding an ID that already exists replaces the old rule in place
+// (the rule set is "dynamically modified"); replacement keeps the old rule's
+// firing position. The rule is copied: later caller mutations do not affect
+// the engine.
+func (e *Engine) AddRule(r *Rule) {
+	e.install(r.clone())
+}
+
+// InstallRule installs a shared template rule without copying its Events
+// slice. The caller must guarantee the template is immutable (the generated
+// schema rules are); per-instance strengthening via AddPrecondition copies
+// before extending, so clones never write through the shared slice.
+func (e *Engine) InstallRule(r *Rule) {
+	e.install(r.cloneShared())
+}
+
+func (e *Engine) install(nr *Rule) {
+	if old, ok := e.byID[nr.ID]; ok {
+		nr.idx = old.idx
+		e.rules[nr.idx] = nr
+		e.unsubscribe(old)
+		old.queued = false // identity check drops its stale agenda entry
 	} else {
+		nr.idx = len(e.rules)
 		e.rules = append(e.rules, nr)
 	}
 	e.byID[nr.ID] = nr
+	e.subscribe(nr, nr.Events)
+	e.recount(nr)
 }
 
 // RemoveRule discards a rule; it reports whether the rule existed.
@@ -126,12 +291,12 @@ func (e *Engine) RemoveRule(id string) bool {
 		return false
 	}
 	delete(e.byID, id)
-	for i, existing := range e.rules {
-		if existing == r {
-			e.rules = append(e.rules[:i], e.rules[i+1:]...)
-			break
-		}
+	e.rules = append(e.rules[:r.idx], e.rules[r.idx+1:]...)
+	for i := r.idx; i < len(e.rules); i++ {
+		e.rules[i].idx = i
 	}
+	e.unsubscribe(r)
+	r.queued = false
 	return true
 }
 
@@ -149,6 +314,7 @@ func (e *Engine) AddPrecondition(ruleID string, extraEvents []string, extraCond 
 	if !ok {
 		return fmt.Errorf("rules: AddPrecondition: no rule %q", ruleID)
 	}
+	var added []string
 	for _, ev := range extraEvents {
 		found := false
 		for _, have := range r.Events {
@@ -158,7 +324,21 @@ func (e *Engine) AddPrecondition(ruleID string, extraEvents []string, extraCond 
 			}
 		}
 		if !found {
-			r.Events = append(r.Events, ev)
+			added = append(added, ev)
+		}
+	}
+	if len(added) > 0 {
+		// The Events slice may be shared with other clones of the same
+		// template: copy before extending.
+		r.Events = append(append(make([]string, 0, len(r.Events)+len(added)), r.Events...), added...)
+		e.subscribe(r, added)
+		if e.tab != nil {
+			for _, ev := range added {
+				r.curMark += e.tab.Count(ev)
+				if e.tab.Has(ev) {
+					r.satisfied++
+				}
+			}
 		}
 	}
 	if extraCond != nil {
@@ -173,6 +353,7 @@ func (e *Engine) AddPrecondition(ruleID string, extraEvents []string, extraCond 
 		}
 	}
 	r.firedMark = -1
+	e.maybeArm(r)
 	return nil
 }
 
@@ -189,7 +370,23 @@ func (e *Engine) AddEvent(tab *event.Table, name string) bool {
 func (e *Engine) Rearm(id string) {
 	if r, ok := e.byID[id]; ok {
 		r.firedMark = -1
+		e.maybeArm(r)
 	}
+}
+
+// RearmExecRules re-arms every execution rule of the given step (see
+// IsExecRuleFor). Equivalent to RearmWhere with an IsExecRuleFor predicate,
+// without the caller paying a closure allocation on the reset hot path.
+func (e *Engine) RearmExecRules(step model.StepID) int {
+	n := 0
+	for _, r := range e.rules {
+		if IsExecRuleFor(r.ID, step) {
+			r.firedMark = -1
+			e.maybeArm(r)
+			n++
+		}
+	}
+	return n
 }
 
 // RearmWhere re-arms every rule whose ID satisfies pred.
@@ -198,6 +395,7 @@ func (e *Engine) RearmWhere(pred func(id string) bool) int {
 	for _, r := range e.rules {
 		if pred(r.ID) {
 			r.firedMark = -1
+			e.maybeArm(r)
 			n++
 		}
 	}
@@ -222,15 +420,91 @@ func satisfied(tab *event.Table, r *Rule) bool {
 	return true
 }
 
-// Evaluate considers every rule against the event table and data environment
-// and returns the rules that fire, in insertion order. Each returned rule's
-// action has already been marked fired; ActNotify callbacks are NOT invoked
-// here — the caller runs them (so it can count load and messages first).
+// Evaluate considers the rule set against the event table and data
+// environment and returns the rules that fire, in insertion order. Each
+// returned rule's action has already been marked fired; ActNotify callbacks
+// are NOT invoked here — the caller runs them (so it can count load and
+// messages first).
+//
+// Against the bound event table this dispatches from the armed agenda
+// (rules whose subscribed events are all valid), touching no other rule;
+// any other table falls back to EvaluateScan. Both paths fire the same
+// rules in the same order.
 //
 // The returned error carries the first precondition evaluation failure, but
 // evaluation continues past failing rules (a bad condition on one rule must
 // not wedge the instance).
 func (e *Engine) Evaluate(tab *event.Table, env expr.Env) ([]*Rule, error) {
+	if tab != nil && tab == e.tab && !scanOnly.Load() {
+		return e.fireArmed(env)
+	}
+	return e.EvaluateScan(tab, env)
+}
+
+// FireOn posts the named event into the bound table and fires the rules this
+// makes fireable: the reactive AddEvent+Evaluate composition. Only rules
+// subscribed to the event (plus already-armed rules awaiting data changes)
+// are examined.
+func (e *Engine) FireOn(name string, env expr.Env) ([]*Rule, error) {
+	if e.tab == nil {
+		return nil, fmt.Errorf("rules: FireOn(%q): engine is not bound to an event table", name)
+	}
+	e.tab.Post(name)
+	return e.Evaluate(e.tab, env)
+}
+
+// fireArmed drains the agenda in insertion order. Rules whose precondition
+// is false (or errors) stay armed for the next round; fired and stale
+// entries leave the agenda.
+func (e *Engine) fireArmed(env expr.Env) ([]*Rule, error) {
+	if len(e.armed) == 0 {
+		return nil, nil
+	}
+	// Insertion sort by rule position: the agenda is nearly always a handful
+	// of entries, and sort.Slice would allocate on every round.
+	for i := 1; i < len(e.armed); i++ {
+		for j := i; j > 0 && e.armed[j].idx < e.armed[j-1].idx; j-- {
+			e.armed[j], e.armed[j-1] = e.armed[j-1], e.armed[j]
+		}
+	}
+	var fired []*Rule
+	var firstErr error
+	kept := e.armed[:0]
+	for _, r := range e.armed {
+		if e.byID[r.ID] != r || r.satisfied != len(r.Events) || r.spent() {
+			r.queued = false // removed, replaced, or stale: drop
+			continue
+		}
+		if r.Precond != nil {
+			ok, err := r.Precond.EvalBool(env)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rules: rule %s precondition: %w", r.ID, err)
+				}
+				kept = append(kept, r)
+				continue
+			}
+			if !ok {
+				kept = append(kept, r)
+				continue
+			}
+		}
+		if len(r.Events) == 0 {
+			r.firedMark = 0
+		} else {
+			r.firedMark = r.curMark
+		}
+		r.queued = false
+		fired = append(fired, r)
+	}
+	e.armed = kept
+	return fired, firstErr
+}
+
+// EvaluateScan is the reference evaluation path: it scans every rule against
+// the table. Kept for unbound engines, foreign tables, and as the semantic
+// oracle the indexed path is tested against.
+func (e *Engine) EvaluateScan(tab *event.Table, env expr.Env) ([]*Rule, error) {
 	var fired []*Rule
 	var firstErr error
 	for _, r := range e.rules {

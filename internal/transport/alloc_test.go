@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Per-message allocation budgets for the send hot path. The budgets are
+// deliberately loose (slice growth in the destination queue amortizes to well
+// under one allocation per send, pool misses after a GC cost one envelope) so
+// the guard only trips on a real regression — e.g. a Message escaping to the
+// heap again, or envelopes no longer being pooled.
+const (
+	sendAllocBudget  = 2.0 // allocs per plain Handle.Send
+	batchAllocBudget = 1.0 // allocs per logical message through Batcher+SendBatch
+)
+
+// drain consumes rx's inbox on a goroutine, releasing envelopes (the
+// receiver's side of the pooling contract) and counting logical messages.
+func drain(ep *Endpoint, logical *atomic.Int64) {
+	go func() {
+		for m := range ep.Inbox() {
+			if env, ok := m.Payload.(*Envelope); ok {
+				logical.Add(int64(len(env.Msgs)))
+				env.Release()
+			} else {
+				logical.Add(1)
+			}
+		}
+	}()
+}
+
+// TestSendAllocBudget guards the plain per-message send path: a steady-state
+// Handle.Send must stay within sendAllocBudget allocations.
+func TestSendAllocBudget(t *testing.T) {
+	net := New(nil)
+	defer net.Close()
+	ep := net.MustRegister("rx")
+	var logical atomic.Int64
+	drain(ep, &logical)
+	h, err := net.Handle("rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Message{From: "tx", To: "rx", Kind: "Ping"}
+	// Warm up the queue/batch buffers before measuring.
+	for i := 0; i < 64; i++ {
+		if err := h.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := h.Send(m); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > sendAllocBudget {
+		t.Errorf("Handle.Send allocates %.2f/op, budget %.1f", avg, sendAllocBudget)
+	}
+}
+
+// TestEnvelopeBatchAllocBudget guards the batched path: adding a burst to a
+// Batcher and flushing it must stay within batchAllocBudget allocations per
+// logical message (the envelope comes from the pool, the batcher's buffers
+// are reused across turns, and the whole burst is one physical delivery).
+func TestEnvelopeBatchAllocBudget(t *testing.T) {
+	net := New(nil)
+	defer net.Close()
+	ep := net.MustRegister("rx")
+	var logical atomic.Int64
+	drain(ep, &logical)
+	h, err := net.Handle("rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Message{From: "tx", To: "rx", Kind: "Ping"}
+	var b Batcher
+	const burst = 8
+	// Warm up: grows the envelope Msgs capacity the pool will recycle.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < burst; j++ {
+			b.Add(h, m)
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		for j := 0; j < burst; j++ {
+			b.Add(h, m)
+		}
+		if err := b.Flush(); err != nil {
+			t.Error(err)
+		}
+	})
+	perMsg := avg / burst
+	if perMsg > batchAllocBudget {
+		t.Errorf("batched send allocates %.2f/logical message (%.1f/burst), budget %.1f", perMsg, avg, batchAllocBudget)
+	}
+}

@@ -398,6 +398,13 @@ func (n *Network) deliver(nd *node, m Message) error {
 	if fn := n.trace.Load(); fn != nil {
 		(*fn)(m)
 	}
+	n.enqueue(nd, m, delay)
+	return nil
+}
+
+// enqueue appends one accepted physical message to the node's mailbox and
+// updates the in-flight/parked accounting.
+func (n *Network) enqueue(nd *node, m Message, delay int) {
 	n.inflight.Add(1)
 	parkedHere := false
 	nd.mu.Lock()
@@ -411,7 +418,6 @@ func (n *Network) deliver(nd *node, m Message) error {
 		n.maybeNotifyQuiet()
 	}
 	nd.wake()
-	return nil
 }
 
 // decInflight retires one in-flight message and releases Quiesce/AwaitStall

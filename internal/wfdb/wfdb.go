@@ -143,6 +143,44 @@ type Instance struct {
 	Aborting bool
 	// Parent links a nested workflow instance to its parent step.
 	Parent *ParentRef
+
+	// schema, when attached, serves interned event-name and data-name strings
+	// so record-keeping does not rebuild them on every post. Optional (nil
+	// falls back to direct construction) and not persisted: owners re-attach
+	// after load or import.
+	schema *model.Schema
+}
+
+// AttachSchema installs the instance's schema as a name-interning source.
+// The schema is only read.
+func (ins *Instance) AttachSchema(s *model.Schema) { ins.schema = s }
+
+func (ins *Instance) doneName(id model.StepID) string {
+	if ins.schema != nil {
+		return ins.schema.DoneEventOf(id)
+	}
+	return event.DoneName(string(id))
+}
+
+func (ins *Instance) failName(id model.StepID) string {
+	if ins.schema != nil {
+		return ins.schema.FailEventOf(id)
+	}
+	return event.FailName(string(id))
+}
+
+func (ins *Instance) compName(id model.StepID) string {
+	if ins.schema != nil {
+		return ins.schema.CompEventOf(id)
+	}
+	return event.CompensatedName(string(id))
+}
+
+func (ins *Instance) outputRef(id model.StepID, short string) string {
+	if ins.schema != nil {
+		return ins.schema.OutputRef(id, short)
+	}
+	return id.Ref(short)
 }
 
 // ParentRef identifies the parent step awaiting a nested workflow.
@@ -239,16 +277,16 @@ func (ins *Instance) RecordDone(id model.StepID, outputs map[string]expr.Value) 
 	r.Outputs = outputs
 	r.HasResult = true
 	for short, v := range outputs {
-		ins.Data[id.Ref(short)] = v
+		ins.Data[ins.outputRef(id, short)] = v
 	}
 	ins.ExecOrder = append(ins.ExecOrder, id)
-	ins.Events.Post(event.DoneName(string(id)))
+	ins.Events.Post(ins.doneName(id))
 }
 
 // RecordFailed marks a step failed and posts step.fail.
 func (ins *Instance) RecordFailed(id model.StepID) {
 	ins.StepRec(id).Status = StepFailed
-	ins.Events.Post(event.FailName(string(id)))
+	ins.Events.Post(ins.failName(id))
 }
 
 // RecordCompensating marks a compensation of the step as dispatched to an
@@ -269,10 +307,23 @@ func (ins *Instance) RecordCompensated(id model.StepID) {
 	r.HasResult = false
 	r.CompMode = 0
 	for short := range r.Outputs {
-		delete(ins.Data, id.Ref(short))
+		delete(ins.Data, ins.outputRef(id, short))
 	}
-	ins.Events.Invalidate(event.DoneName(string(id)))
-	ins.Events.Post(event.CompensatedName(string(id)))
+	ins.Events.Invalidate(ins.doneName(id))
+	ins.Events.Post(ins.compName(id))
+}
+
+// ResetStepEvents invalidates the step's done and fail events and returns
+// how many were valid (the paper's v parameter counts these invalidations).
+func (ins *Instance) ResetStepEvents(id model.StepID) int {
+	n := 0
+	if ins.Events.Invalidate(ins.doneName(id)) {
+		n++
+	}
+	if ins.Events.Invalidate(ins.failName(id)) {
+		n++
+	}
+	return n
 }
 
 // Executed reports whether the step currently counts as executed (done and
@@ -353,6 +404,7 @@ func (ins *Instance) Clone() *Instance {
 		p := *ins.Parent
 		c.Parent = &p
 	}
+	c.schema = ins.schema // read-only interning source; safe to share
 	return c
 }
 

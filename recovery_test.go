@@ -1,10 +1,13 @@
 package crew_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"crew"
+	"crew/internal/metrics"
+	"crew/internal/transport"
 )
 
 // nodeFaults is the crash surface every architecture's System exposes (the
@@ -190,6 +193,151 @@ func TestCrashDuringOCR(t *testing.T) {
 			}
 			if got := rec.count("c"); got != 1 {
 				t.Errorf("C executed %d times, want 1", got)
+			}
+		})
+	}
+}
+
+// TestCrashMidBatchParksWholeEnvelope pins the transport-level recovery
+// contract for batched sends: a dispatch burst coalesced into one envelope is
+// ONE physical message, so a crash that lands mid-batch parks and replays the
+// envelope atomically — the logical messages inside are never split across
+// the crash and never double-delivered.
+func TestCrashMidBatchParksWholeEnvelope(t *testing.T) {
+	col := metrics.NewCollector()
+	net := transport.New(col)
+	defer net.Close()
+	ep := net.MustRegister("agent")
+	ep.ManualAck()
+	h, err := net.Handle("agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination crashes before the burst lands.
+	net.Crash("agent")
+	var b transport.Batcher
+	const logical = 3
+	for i := 0; i < logical; i++ {
+		b.Add(h, transport.Message{From: "coord", To: "agent", Mechanism: metrics.Normal, Kind: "StepExecute", Payload: i})
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole burst parks as a single physical message...
+	if q := net.QueuedFor("agent"); q != 1 {
+		t.Fatalf("QueuedFor = %d physical messages, want 1 (whole envelope parked)", q)
+	}
+	if p := net.Parked(); p != 1 {
+		t.Fatalf("Parked = %d, want 1", p)
+	}
+	// ...while the metrics collector already counted every logical message
+	// (the paper's tables count logical traffic, crash or not).
+	if got := col.Messages(metrics.Normal); got != logical {
+		t.Fatalf("collector counted %d messages, want %d", got, logical)
+	}
+
+	// Recovery replays the envelope: each logical message exactly once, in
+	// send order.
+	net.Recover("agent")
+	var m transport.Message
+	select {
+	case m = <-ep.Inbox():
+	case <-time.After(5 * time.Second):
+		t.Fatal("envelope not replayed after recovery")
+	}
+	env, ok := m.Payload.(*transport.Envelope)
+	if !ok {
+		t.Fatalf("payload = %T, want *transport.Envelope", m.Payload)
+	}
+	if len(env.Msgs) != logical {
+		t.Fatalf("envelope carries %d logical messages, want %d", len(env.Msgs), logical)
+	}
+	for i, lm := range env.Msgs {
+		if lm.Payload != i {
+			t.Errorf("logical message %d payload = %v, want %d", i, lm.Payload, i)
+		}
+	}
+	env.Release()
+	ep.Ack()
+
+	// Nothing left to replay: the network drains and no second copy of any
+	// logical message arrives.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := net.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	select {
+	case m := <-ep.Inbox():
+		t.Fatalf("double delivery after replay: %+v", m)
+	default:
+	}
+	if got := col.Messages(metrics.Normal); got != logical {
+		t.Fatalf("collector counted %d messages after replay, want %d (replay is not re-accepted)", got, logical)
+	}
+}
+
+// TestCrashMidBatchUnderLoad drives the same guarantee end to end: a node
+// crash/restart cycle in the middle of a workflow run with batching active
+// must not duplicate or lose step executions in any architecture.
+func TestCrashMidBatchUnderLoad(t *testing.T) {
+	for _, tc := range recoveryCases() {
+		t.Run(tc.arch.String(), func(t *testing.T) {
+			rec := &recorder{}
+			var sys crew.System
+			reg := crew.NewRegistry()
+			reg.Register("pa", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("a")
+				return map[string]crew.Value{"O1": crew.Num(1)}, nil
+			})
+			reg.Register("pb", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("b")
+				// Crash the scheduler nodes while the completion (and the
+				// successor dispatch burst it triggers) is in flight.
+				if rec.count("b") == 1 {
+					crashNodes(t, sys, tc.nodes)
+				}
+				return map[string]crew.Value{"O1": crew.Num(2)}, nil
+			})
+			reg.Register("pc", func(*crew.ProgramContext) (map[string]crew.Value, error) {
+				rec.add("c")
+				return map[string]crew.Value{"O1": crew.Num(3)}, nil
+			})
+			lib := crew.NewLibrary()
+			lib.Add(crew.NewSchema("M").
+				Step("A", "pa", crew.WithOutputs("O1"), crew.WithAgents("a1")).
+				Step("B", "pb", crew.WithOutputs("O1"), crew.WithAgents("a2")).
+				Step("C", "pc", crew.WithOutputs("O1"), crew.WithAgents("a1")).
+				Seq("A", "B", "C").
+				MustBuild())
+			cfg := crew.Config{
+				Library:      lib,
+				Programs:     reg,
+				Architecture: tc.arch,
+				Agents:       []string{"a1", "a2"},
+				Logf:         t.Logf,
+			}
+			tc.conf(&cfg)
+			s, err := crew.NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sys = s
+
+			_, st, err := s.Run("M", nil, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != crew.Committed {
+				t.Fatalf("status = %v, want committed", st)
+			}
+			for _, step := range []string{"a", "b", "c"} {
+				if got := rec.count(step); got != 1 {
+					t.Errorf("%s executed %d times, want exactly 1", step, got)
+				}
 			}
 		})
 	}
