@@ -1,0 +1,133 @@
+// Command benchdiff compares two recorded benchmark JSON files
+// (BENCH_*.json) benchstat-style: for every benchmark present in both it
+// prints the mean ns/op, B/op and allocs/op with the relative delta, and it
+// checks the semantic columns (msgs_per_inst, load_per_inst) for exact
+// equality — the paper's tables count logical traffic, which performance
+// work must not change.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff OLD.json NEW.json
+//
+// Exit status 1 if a semantic column differs (or a file is unreadable);
+// timing deltas are informational only.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  []float64 `json:"bytes_per_op"`
+	AllocsPerOp []float64 `json:"allocs_per_op"`
+	MsgsPerInst *float64  `json:"msgs_per_inst"`
+	LoadPerInst *float64  `json:"load_per_inst"`
+}
+
+type file struct {
+	Command    string            `json:"command"`
+	Benchmarks map[string]record `json:"benchmarks"`
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func load(path string) (*file, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldF, err := load(os.Args[1])
+	if err == nil {
+		var newF *file
+		newF, err = load(os.Args[2])
+		if err == nil {
+			os.Exit(run(os.Args[1], os.Args[2], oldF, newF))
+		}
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func run(oldPath, newPath string, oldF, newF *file) int {
+	names := make([]string, 0, len(newF.Benchmarks))
+	for name := range newF.Benchmarks {
+		if _, ok := oldF.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff %s -> %s\n\n", oldPath, newPath)
+	fmt.Printf("%-32s %14s %14s %9s\n", "benchmark", "old", "new", "delta")
+	status := 0
+	for _, name := range names {
+		o, n := oldF.Benchmarks[name], newF.Benchmarks[name]
+		rows := []struct {
+			unit     string
+			old, new float64
+		}{
+			{"ns/op", mean(o.NsPerOp), mean(n.NsPerOp)},
+			{"B/op", mean(o.BytesPerOp), mean(n.BytesPerOp)},
+			{"allocs/op", mean(o.AllocsPerOp), mean(n.AllocsPerOp)},
+		}
+		fmt.Println(name)
+		for _, r := range rows {
+			fmt.Printf("  %-30s %14.0f %14.0f %9s\n", r.unit, r.old, r.new, delta(r.old, r.new))
+		}
+		// Semantic columns: exact match required when both files record them.
+		checks := []struct {
+			unit     string
+			old, new *float64
+		}{
+			{"msgs_per_inst", o.MsgsPerInst, n.MsgsPerInst},
+			{"load_per_inst", o.LoadPerInst, n.LoadPerInst},
+		}
+		for _, c := range checks {
+			if c.old == nil || c.new == nil {
+				continue
+			}
+			if *c.old != *c.new {
+				fmt.Printf("  %-30s %14g %14g  MISMATCH\n", c.unit, *c.old, *c.new)
+				status = 1
+			} else {
+				fmt.Printf("  %-30s %14g %14g        ok\n", c.unit, *c.old, *c.new)
+			}
+		}
+	}
+	if status != 0 {
+		fmt.Println("\nFAIL: semantic columns differ (msgs/load per instance must be identical)")
+	}
+	return status
+}

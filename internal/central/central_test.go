@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"crew/internal/coord"
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
@@ -1010,5 +1011,110 @@ func TestRecoverWithoutDB(t *testing.T) {
 	defer sys.Close()
 	if _, err := sys.Recover(); err == nil {
 		t.Error("Recover without DB should fail")
+	}
+}
+
+// linSchema builds the three-step linear schema used by the retirement tests.
+func linSchema(reg *model.Registry, rec *recorder) *model.Schema {
+	reg.Register("pa", tracked(rec, "a", map[string]expr.Value{"O1": expr.Num(1)}))
+	reg.Register("pb", tracked(rec, "b", map[string]expr.Value{"O1": expr.Num(2)}))
+	reg.Register("pc", tracked(rec, "c", nil))
+	return model.NewSchema("Lin", "I1").
+		Step("A", "pa", model.WithOutputs("O1")).
+		Step("B", "pb", model.WithInputs("A.O1"), model.WithOutputs("O1")).
+		Step("C", "pc", model.WithInputs("B.O1", "WF.I1")).
+		Seq("A", "B", "C").
+		MustBuild()
+}
+
+func TestRetiredInstanceServedFromArchive(t *testing.T) {
+	reg := model.NewRegistry()
+	sys := newSystem(t, lib1(linSchema(reg, &recorder{})), reg)
+	id := runToStatus(t, sys, "Lin", map[string]expr.Value{"I1": expr.Num(1)}, wfdb.Committed)
+
+	// The live table is empty: the terminal instance was archived and
+	// evicted when it committed.
+	if n := sys.Engine.LiveInstances(); n != 0 {
+		t.Fatalf("LiveInstances = %d after commit", n)
+	}
+	// The public API still answers, now from the archive/terminal registry.
+	if st, ok := sys.Status("Lin", id); !ok || st != wfdb.Committed {
+		t.Fatalf("Status = (%v, %v)", st, ok)
+	}
+	snap, ok := sys.Snapshot("Lin", id)
+	if !ok || snap.Status != wfdb.Committed {
+		t.Fatalf("Snapshot = (%v, %v)", snap, ok)
+	}
+	if !snap.Data["B.O1"].Equal(expr.Num(2)) {
+		t.Fatalf("archived data table = %v", snap.Data)
+	}
+	if st, err := sys.Wait("Lin", id, waitTimeout); err != nil || st != wfdb.Committed {
+		t.Fatalf("Wait = (%v, %v)", st, err)
+	}
+	// Mutations distinguish retired from never-started.
+	if err := sys.Abort("Lin", id); err != ErrNotRunning {
+		t.Fatalf("Abort retired = %v, want ErrNotRunning", err)
+	}
+	if err := sys.Abort("Lin", 999); err != ErrUnknownInstance {
+		t.Fatalf("Abort unknown = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestRecoverDoesNotResurrectRetired(t *testing.T) {
+	reg := model.NewRegistry()
+	rec := &recorder{}
+	sys := newSystem(t, lib1(linSchema(reg, rec)), reg)
+	id := runToStatus(t, sys, "Lin", map[string]expr.Value{"I1": expr.Num(1)}, wfdb.Committed)
+
+	// Archive removed the instance record, so recovery has nothing to load:
+	// the retired instance must not come back as a running replica.
+	n, err := sys.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Recover resumed %d instances, want 0", n)
+	}
+	if live := sys.Engine.LiveInstances(); live != 0 {
+		t.Fatalf("LiveInstances after Recover = %d", live)
+	}
+	if st, ok := sys.Status("Lin", id); !ok || st != wfdb.Committed {
+		t.Fatalf("Status after Recover = (%v, %v)", st, ok)
+	}
+	if got := rec.count("a"); got != 1 {
+		t.Fatalf("step A executed %d times (re-executed after recovery?)", got)
+	}
+}
+
+func TestRetirementForgetsCoordination(t *testing.T) {
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	reg.Register("pa1", tracked(rec, "a1", nil))
+	reg.Register("pa2", tracked(rec, "a2", nil))
+	wf1 := model.NewSchema("O1").Step("A1", "pa1").MustBuild()
+	wf2 := model.NewSchema("O2").Step("A2", "pa2").MustBuild()
+	lib := lib1(wf1, wf2)
+	lib.AddCoord(model.CoordSpec{
+		Kind: model.RelativeOrder,
+		Name: "orders",
+		Pairs: []model.ConflictPair{
+			{A: model.StepRef{Workflow: "O1", Step: "A1"}, B: model.StepRef{Workflow: "O2", Step: "A2"}},
+		},
+	})
+	sys := newSystem(t, lib, reg)
+
+	id1 := runToStatus(t, sys, "O1", nil, wfdb.Committed)
+	id2 := runToStatus(t, sys, "O2", nil, wfdb.Committed)
+	_ = id1
+	_ = id2
+
+	// finishInstance must Forget the instance at the tracker: retired
+	// instances may not linger in relative-order queues (they would block
+	// every later instance of the conflicting class).
+	tr := sys.Engine.coordinator.(*LocalCoordinator).tracker
+	var q []coord.InstanceRef
+	sys.Engine.Do(func() { q = tr.OrderQueue("orders") })
+	if len(q) != 0 {
+		t.Fatalf("order queue still holds %v after both instances retired", q)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"crew/internal/coord"
 	"crew/internal/event"
 	"crew/internal/expr"
+	"crew/internal/itable"
 	"crew/internal/metrics"
 	"crew/internal/model"
 	"crew/internal/nav"
@@ -42,6 +43,20 @@ type Config struct {
 	// DisableOCR forces the Saga-style complete compensation and complete
 	// re-execution on every revisit (the OCR ablation).
 	DisableOCR bool
+	// Archive, when DB is nil, receives retired instances (the parallel
+	// architecture shares one archive across its engines so any engine can
+	// answer Snapshot). When both are nil the engine keeps a private
+	// in-memory archive. Ignored when DB is set: retired instances then go
+	// to the WFDB's archive table as before.
+	Archive *wfdb.DB
+	// Terminal, if set, is the shared terminal-status registry completions
+	// are published to (push-based Wait). Nil gets a private registry.
+	Terminal *itable.Terminal
+	// OnRetired, if set, is called from the engine goroutine after an
+	// instance reaches terminal status and is evicted from the live table,
+	// so owners of routing state (instance->engine maps, coordination
+	// trackers) can drop their references.
+	OnRetired func(workflow string, id int)
 	// Logf, if set, receives diagnostics (compensation failures, dropped
 	// stale results).
 	Logf func(format string, args ...any)
@@ -107,7 +122,14 @@ type Engine struct {
 	instances map[string]*instState
 	nextID    map[string]int
 	loads     map[string]int64
-	waiters   map[string][]chan wfdb.Status
+
+	// term records terminal statuses and wakes completion subscribers; adb
+	// is where retired instances are archived (cfg.DB, cfg.Archive, or a
+	// private in-memory DB). Both are safe for concurrent use, so Status /
+	// Wait / Snapshot of finished instances never round-trip through the
+	// engine goroutine.
+	term *itable.Terminal
+	adb  *wfdb.DB
 
 	coordSteps map[model.StepRef]bool
 
@@ -145,8 +167,19 @@ func NewEngine(cfg Config, net *transport.Network) (*Engine, error) {
 		instances:  make(map[string]*instState),
 		nextID:     make(map[string]int),
 		loads:      make(map[string]int64),
-		waiters:    make(map[string][]chan wfdb.Status),
 		coordSteps: make(map[model.StepRef]bool),
+	}
+	e.term = cfg.Terminal
+	if e.term == nil {
+		e.term = new(itable.Terminal)
+	}
+	switch {
+	case cfg.DB != nil:
+		e.adb = cfg.DB
+	case cfg.Archive != nil:
+		e.adb = cfg.Archive
+	default:
+		e.adb = wfdb.NewMemory()
 	}
 	tmp := coord.NewTracker(cfg.Library)
 	e.coordSteps = tmp.CoordinatedSteps()
@@ -304,11 +337,18 @@ func (e *Engine) StartWithID(workflow string, id int, inputs map[string]expr.Val
 
 // Abort requests a user-initiated abort.
 func (e *Engine) Abort(workflow string, id int) error {
+	if _, done := e.term.Status(workflow, id); done {
+		return ErrNotRunning // already retired
+	}
 	var err error
 	e.Do(func() {
 		st := e.instances[wfdb.InstanceKeyOf(workflow, id)]
 		if st == nil {
-			err = ErrUnknownInstance
+			if _, done := e.term.Status(workflow, id); done {
+				err = ErrNotRunning // retired while the command was queued
+			} else {
+				err = ErrUnknownInstance
+			}
 			return
 		}
 		if st.ins.Status != wfdb.Running {
@@ -325,6 +365,9 @@ func (e *Engine) Abort(workflow string, id int) error {
 // to the earliest step consuming a changed input and re-executing forward
 // with the OCR strategy.
 func (e *Engine) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	if _, done := e.term.Status(workflow, id); done {
+		return ErrNotRunning // already retired
+	}
 	var err error
 	e.Do(func() {
 		err = e.changeInputsLocked(workflow, id, inputs)
@@ -332,8 +375,12 @@ func (e *Engine) ChangeInputs(workflow string, id int, inputs map[string]expr.Va
 	return err
 }
 
-// Status reports an instance's status.
+// Status reports an instance's status. Finished instances answer from the
+// terminal registry without touching the engine goroutine.
 func (e *Engine) Status(workflow string, id int) (wfdb.Status, bool) {
+	if st, done := e.term.Status(workflow, id); done {
+		return st, true
+	}
 	var s wfdb.Status
 	var ok bool
 	e.Do(func() {
@@ -348,28 +395,38 @@ func (e *Engine) Status(workflow string, id int) (wfdb.Status, bool) {
 	return s, ok
 }
 
+// Terminal exposes the engine's terminal-status registry so system facades
+// can subscribe to completions directly (push-based WaitCtx).
+func (e *Engine) Terminal() *itable.Terminal { return e.term }
+
 // WaitChan returns a channel that receives the instance's terminal status.
+// Completion is push-based: the channel is fed from the terminal registry,
+// not from polling the engine.
 func (e *Engine) WaitChan(workflow string, id int) <-chan wfdb.Status {
 	ch := make(chan wfdb.Status, 1)
-	e.Do(func() {
-		key := wfdb.InstanceKeyOf(workflow, id)
-		st := e.instances[key]
-		if st != nil && st.ins.Status != wfdb.Running {
-			ch <- st.ins.Status
-			return
+	st, done, w, gen := e.term.Subscribe(workflow, id)
+	if done {
+		ch <- st
+		return ch
+	}
+	// An instance that finished under a previous engine incarnation is only
+	// in the database; the registry will never fire for it.
+	if e.cfg.DB != nil {
+		if sum, found, _ := e.cfg.DB.LoadSummary(workflow, id); found && sum != wfdb.Running {
+			e.term.Unsubscribe(workflow, id, w, gen)
+			ch <- sum
+			return ch
 		}
-		if st == nil && e.cfg.DB != nil {
-			if sum, found, _ := e.cfg.DB.LoadSummary(workflow, id); found && sum != wfdb.Running {
-				ch <- sum
-				return
-			}
-		}
-		e.waiters[key] = append(e.waiters[key], ch)
-	})
+	}
+	go func() {
+		<-w.Done()
+		ch <- w.Result()
+	}()
 	return ch
 }
 
 // Snapshot returns a deep copy of an instance's state for inspection.
+// Retired instances are reloaded from the archive.
 func (e *Engine) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 	var out *wfdb.Instance
 	e.Do(func() {
@@ -377,6 +434,14 @@ func (e *Engine) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 			out = st.ins.Clone()
 		}
 	})
+	if out == nil {
+		if ins, ok, err := e.adb.LoadArchived(workflow, id); err == nil && ok {
+			if schema := e.cfg.Library.Schema(workflow); schema != nil {
+				ins.AttachSchema(schema)
+			}
+			out = ins
+		}
+	}
 	return out, out != nil
 }
 
@@ -387,6 +452,15 @@ func (e *Engine) Owns(workflow string, id int) bool {
 		_, ok = e.instances[wfdb.InstanceKeyOf(workflow, id)]
 	})
 	return ok
+}
+
+// LiveInstances reports how many instances are resident in the engine's
+// live table — retired (terminal) instances have been archived and evicted,
+// so under a sustained stream this stays bounded by the in-flight count.
+func (e *Engine) LiveInstances() int {
+	var n int
+	e.Do(func() { n = len(e.instances) })
+	return n
 }
 
 // InjectEvent posts an event into an instance's event table (used by remote
@@ -1026,6 +1100,14 @@ func (e *Engine) onExecResponse(r ExecResponse) {
 	if st == nil {
 		if e.halted {
 			e.orphans = append(e.orphans, func() { e.onExecResponse(r) })
+			return
+		}
+		if _, done := e.term.Status(r.Workflow, r.Instance); done {
+			// A result landing after its instance finished (a user abort
+			// racing an in-flight step): examining it still costs the
+			// result-processing unit the pre-retirement engine charged, so
+			// the Tables 4-5 load columns stay identical.
+			e.addLoad(metrics.Normal, 1)
 		}
 		return
 	}
@@ -1383,29 +1465,51 @@ func (e *Engine) maybeCommit(st *instState) {
 	e.finishInstance(st)
 }
 
+// finishInstance retires a terminal instance: the full state is archived,
+// the terminal status is published (waking every Wait subscriber), the
+// coordination tracker and routing owners drop their references, and the
+// live entry is evicted — so resident memory stays flat under an unbounded
+// instance stream while Status/Snapshot/Wait keep answering from the
+// archive and the terminal registry.
+//
+// Retirement happens only here, at terminal status: by this point every
+// pending rollback dependency and OCR compensation-dependent set involving
+// the instance has been resolved (a Running instance is never evicted), so
+// no live navigation can still need the evicted state.
 func (e *Engine) finishInstance(st *instState) {
 	key := st.ins.Key()
 	if e.cfg.DB != nil {
 		if err := e.cfg.DB.SaveSummary(st.ins.Workflow, st.ins.ID, st.ins.Status); err != nil {
 			e.logf("summary %s: %v", key, err)
 		}
-		if err := e.cfg.DB.Archive(st.ins); err != nil {
-			e.logf("archive %s: %v", key, err)
-		}
+	}
+	// Archive before publishing completion: a woken waiter may Snapshot
+	// immediately and must find the archived state.
+	if err := e.adb.Archive(st.ins); err != nil {
+		e.logf("archive %s: %v", key, err)
 	}
 	if e.coordinator != nil {
 		e.coordinator.Forget(coord.InstanceRef{Workflow: st.ins.Workflow, ID: st.ins.ID})
 	}
-	for _, ch := range e.waiters[key] {
-		ch <- st.ins.Status
-	}
-	delete(e.waiters, key)
+	e.term.Complete(st.ins.Workflow, st.ins.ID, st.ins.Status)
 
-	// Nested workflows: hand the result to the parent step.
+	// Nested workflows: hand the result to the parent step before the child
+	// leaves the table (the parent reads the child's data directly).
 	if p := st.ins.Parent; p != nil {
 		if parent := e.instances[wfdb.InstanceKeyOf(p.Workflow, p.ID)]; parent != nil {
 			e.onChildFinished(parent, p.Step, st)
+		} else if _, done := e.term.Status(p.Workflow, p.ID); done {
+			// Parent finished first (a user abort racing the child):
+			// examining the child's result still costs the unit the
+			// pre-retirement engine charged in onChildFinished, so the
+			// Tables 4-5 load columns stay identical.
+			e.addLoad(metrics.Normal, 1)
 		}
+	}
+
+	delete(e.instances, key)
+	if e.cfg.OnRetired != nil {
+		e.cfg.OnRetired(st.ins.Workflow, st.ins.ID)
 	}
 }
 

@@ -134,8 +134,12 @@ func (s *System) admit(ctx context.Context, workflow string) error {
 // StartSeq launches an instance under an externally assigned ID. The global
 // sequence number is unused by the centralized architecture; accepting it
 // lets concurrent drivers start instances in any order without changing
-// where work lands (there is only one engine).
+// where work lands (there is only one engine). A StartSeq racing Close
+// fails with cerrors.ErrClosed instead of panicking on the closed transport.
 func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
+	if s.closed.Load() {
+		return fmt.Errorf("central: %w", cerrors.ErrClosed)
+	}
 	return s.Engine.StartWithID(workflow, id, inputs)
 }
 
@@ -170,16 +174,33 @@ func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Stat
 }
 
 // WaitCtx blocks until the instance reaches a terminal status or ctx ends.
+// Completion is push-based: the call subscribes to the engine's terminal
+// registry and is woken by the closing of the instance's waiter channel —
+// no polling and no engine-goroutine round-trip for finished instances.
 // A deadline expiry is reported as cerrors.ErrTimeout (errors.Is-matchable);
 // a plain cancellation as ctx.Err().
 func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
 	if err := s.admit(ctx, ""); err != nil {
 		return 0, err
 	}
-	select {
-	case st := <-s.Engine.WaitChan(workflow, id):
+	term := s.Engine.Terminal()
+	st, done, w, gen := term.Subscribe(workflow, id)
+	if done {
 		return st, nil
+	}
+	// Fresh-engine-over-old-database: completions from a previous
+	// incarnation exist only as summaries.
+	if db := s.Engine.cfg.DB; db != nil {
+		if sum, found, _ := db.LoadSummary(workflow, id); found && sum != wfdb.Running {
+			term.Unsubscribe(workflow, id, w, gen)
+			return sum, nil
+		}
+	}
+	select {
+	case <-w.Done():
+		return w.Result(), nil
 	case <-ctx.Done():
+		term.Unsubscribe(workflow, id, w, gen)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return 0, fmt.Errorf("central: %w: %s.%d", cerrors.ErrTimeout, workflow, id)
 		}

@@ -6,10 +6,12 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crew/internal/coord"
 	"crew/internal/expr"
+	"crew/internal/itable"
 	"crew/internal/metrics"
 	"crew/internal/model"
 	"crew/internal/nav"
@@ -42,14 +44,33 @@ type Config struct {
 	// PurgeOnCommit makes coordination agents broadcast purge notes when an
 	// instance finishes (paper: periodic broadcast; immediate here).
 	PurgeOnCommit bool
-	// StatusPollInterval paces the agent's anti-entropy sweep: re-evaluating
+	// Terminal optionally shares a terminal-status registry across the
+	// deployment. The coordination agent publishes every commit/abort into
+	// it; completion waiters subscribe to it, and the other agents retire
+	// their replicas against it without exchanging a single message. Nil
+	// keeps a private registry (standalone agents).
+	Terminal *itable.Terminal
+	// OnRetired, if set, is called after the agent archives and evicts a
+	// replica of a terminated instance (the deployment evicts its routing
+	// entries through it).
+	OnRetired func(workflow string, id int)
+	// StatusPollInterval paces the agent's maintenance sweep: re-evaluating
 	// replicas, re-reporting completed terminal steps to coordination
 	// agents, and polling StepStatus for overdue missing events (the
 	// paper's predecessor-failure detection). Zero means the 100ms default;
 	// negative disables the sweep.
+	//
+	// Deprecated: there is no standing status-poll timer any more.
+	// Completion is push-based and the sweep runs off a one-shot timer armed
+	// only while the agent holds live replicas; an idle agent takes zero
+	// timer wakeups. The field is kept as a compatibility knob that only
+	// paces that on-demand timer.
 	StatusPollInterval time.Duration
 	// StatusPollAge is how long a rule must wait before its missing events
 	// are polled; defaults to 2*StatusPollInterval.
+	//
+	// Deprecated: see StatusPollInterval; retained only to pace the
+	// on-demand sweep's poll/report throttling.
 	StatusPollAge time.Duration
 	Logf          func(format string, args ...any)
 }
@@ -144,6 +165,14 @@ type Agent struct {
 	waiters map[string][]chan wfdb.Status
 	// execCount is this agent's total program executions.
 	execCount int64
+	// term records terminal statuses (shared deployment-wide via
+	// Config.Terminal); adb archives retired replicas (the AGDB when one is
+	// configured, else a private in-memory database).
+	term *itable.Terminal
+	adb  *wfdb.DB
+	// sweepWakeups counts maintenance-timer firings; tests assert an idle
+	// agent stops waking up.
+	sweepWakeups atomic.Int64
 
 	// home is non-nil on the deployment's coordination home agent.
 	home *homeState
@@ -185,6 +214,14 @@ func NewAgent(cfg Config, net *transport.Network) (*Agent, error) {
 		handledHalts: make(map[haltKey]int),
 		loads:        make(map[string]int64),
 		waiters:      make(map[string][]chan wfdb.Status),
+		term:         cfg.Terminal,
+		adb:          cfg.AGDB,
+	}
+	if a.term == nil {
+		a.term = new(itable.Terminal)
+	}
+	if a.adb == nil {
+		a.adb = wfdb.NewMemory()
 	}
 	tracker := coord.NewTracker(cfg.Library)
 	a.coordSteps = tracker.CoordinatedSteps()
@@ -229,14 +266,30 @@ func (a *Agent) logf(format string, args ...any) {
 func (a *Agent) loop() {
 	defer a.wg.Done()
 	inbox := a.ep.Inbox()
-	var tick <-chan time.Time
-	if a.cfg.StatusPollInterval > 0 {
-		t := time.NewTicker(a.cfg.StatusPollInterval)
-		defer t.Stop()
-		tick = t.C
-	}
+	// The maintenance sweep runs off a one-shot timer armed on demand: only
+	// while the agent holds replicas is there anything to heal, report or
+	// retire, so an idle agent (every instance terminal and evicted) blocks
+	// with no timer at all — zero steady-state wakeups, unlike the standing
+	// ticker this replaces.
+	var (
+		timer  *time.Timer
+		timerC <-chan time.Time
+	)
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		a.drainCmds()
+		if a.cfg.StatusPollInterval > 0 && timerC == nil && len(a.replicas) > 0 {
+			if timer == nil {
+				timer = time.NewTimer(a.cfg.StatusPollInterval)
+			} else {
+				timer.Reset(a.cfg.StatusPollInterval)
+			}
+			timerC = timer.C
+		}
 		select {
 		case m, ok := <-inbox:
 			if !ok {
@@ -247,7 +300,9 @@ func (a *Agent) loop() {
 			a.flushSends()
 			a.ep.Ack()
 		case <-a.cmdNotify:
-		case <-tick:
+		case <-timerC:
+			timerC = nil
+			a.sweepWakeups.Add(1)
 			a.sweep()
 			a.flushSends()
 		}
@@ -345,12 +400,23 @@ func (a *Agent) executorOf(r *replica, step model.StepID) string {
 	return nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, step, a.net.Alive)
 }
 
+// errRetired marks a message addressed to an instance that already reached a
+// terminal status and was archived. Handlers drop such messages silently:
+// late packets for a finished instance are normal traffic, and recreating a
+// replica for them would resurrect the instance in the live tables.
+var errRetired = errors.New("instance already terminated")
+
 // getReplica returns (creating if needed) the replica of an instance,
 // installing the execution rules for every step this agent is eligible for.
+// Instances recorded terminal in the registry are never recreated; callers
+// get errRetired instead.
 func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
 	key := wfdb.InstanceKeyOf(workflow, id)
 	if r, ok := a.replicas[key]; ok {
 		return r, nil
+	}
+	if st, ok := a.term.Status(workflow, id); ok && st != wfdb.Running {
+		return nil, fmt.Errorf("%s: %w", key, errRetired)
 	}
 	schema := a.cfg.Library.Schema(workflow)
 	if schema == nil {
@@ -398,9 +464,11 @@ func (a *Agent) coordinationAgentOf(schema *model.Schema, workflow string, id in
 	return nav.ElectAgent(a.effectiveAgents(schema.Steps[starts[0]]), workflow, id, starts[0], a.net.Alive)
 }
 
-// persist writes the replica to the AGDB.
+// persist writes the replica to the AGDB. Retired (archived) replicas are
+// never written back: that would resurrect the instance record the archive
+// removed.
 func (a *Agent) persist(r *replica) {
-	if a.cfg.AGDB == nil {
+	if a.cfg.AGDB == nil || r.purged {
 		return
 	}
 	if err := a.cfg.AGDB.SaveInstance(r.ins); err != nil {
@@ -408,7 +476,9 @@ func (a *Agent) persist(r *replica) {
 	}
 }
 
-// Snapshot returns a deep copy of the agent's replica of an instance.
+// Snapshot returns a deep copy of the agent's replica of an instance; for a
+// retired instance it serves this agent's archived copy (the full final
+// state on the coordination agent, the local partial view elsewhere).
 func (a *Agent) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 	var out *wfdb.Instance
 	a.Do(func() {
@@ -416,6 +486,14 @@ func (a *Agent) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
 			out = r.ins.Clone()
 		}
 	})
+	if out == nil {
+		if ins, ok, err := a.adb.LoadArchived(workflow, id); err == nil && ok {
+			if schema := a.cfg.Library.Schema(workflow); schema != nil {
+				ins.AttachSchema(schema)
+			}
+			out = ins
+		}
+	}
 	return out, out != nil
 }
 
@@ -434,6 +512,57 @@ func (a *Agent) ExecCount() int64 {
 	var n int64
 	a.Do(func() { n = a.execCount })
 	return n
+}
+
+// ReplicaCount returns the number of live (non-retired) replicas held.
+func (a *Agent) ReplicaCount() int {
+	var n int
+	a.Do(func() { n = len(a.replicas) })
+	return n
+}
+
+// SweepWakeups returns how often the maintenance timer has fired. An agent
+// whose replicas have all retired must stop accruing wakeups.
+func (a *Agent) SweepWakeups() int64 { return a.sweepWakeups.Load() }
+
+// DB returns the agent's configured database (nil without persistence).
+func (a *Agent) DB() *wfdb.DB { return a.cfg.AGDB }
+
+// Terminal returns the agent's terminal-status registry.
+func (a *Agent) Terminal() *itable.Terminal { return a.term }
+
+// retireReplica archives a terminated instance's replica and evicts it from
+// the live table, publishing the terminal status and waking completion
+// waiters. The local copy (partial on non-coordination agents) goes to this
+// agent's archive database, so Snapshot keeps answering with the per-agent
+// view. Retirement is pure local bookkeeping: it sends no messages and adds
+// no load, so the paper's message and load tables are unaffected.
+//
+// Retirement happens only at terminal status, after the coordination
+// clean-up has been issued — never while pending rollback dependencies or
+// compensation-dependent sets can still reference the instance (those only
+// exist while the instance is Running).
+func (a *Agent) retireReplica(r *replica, st wfdb.Status) {
+	key := r.ins.Key()
+	r.ins.Status = st
+	r.purged = true // callers unwinding with r in hand must not persist it back
+	if err := a.adb.Archive(r.ins); err != nil {
+		a.logf("archive %s: %v", key, err)
+	}
+	if a.cfg.AGDB != nil && a.cfg.AGDB != a.adb {
+		_ = a.cfg.AGDB.DeleteInstance(r.ins.Workflow, r.ins.ID)
+	}
+	a.term.Complete(r.ins.Workflow, r.ins.ID, st)
+	a.notifyWaiters(key, st)
+	delete(a.replicas, key)
+	for hk := range a.handledHalts {
+		if hk.workflow == r.ins.Workflow && hk.instance == r.ins.ID {
+			delete(a.handledHalts, hk)
+		}
+	}
+	if a.cfg.OnRetired != nil {
+		a.cfg.OnRetired(r.ins.Workflow, r.ins.ID)
+	}
 }
 
 // DebugState renders an instance replica's rule and coordination state for
@@ -514,6 +643,9 @@ func (a *Agent) InstanceStatus(workflow string, id int) (wfdb.Status, bool) {
 }
 
 func (a *Agent) statusLocked(workflow string, id int) (wfdb.Status, bool) {
+	if st, ok := a.term.Status(workflow, id); ok {
+		return st, true
+	}
 	if a.cfg.AGDB != nil {
 		if st, found, _ := a.cfg.AGDB.LoadSummary(workflow, id); found {
 			return st, true

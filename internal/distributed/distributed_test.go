@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -1157,5 +1158,124 @@ func TestChangeInputsNoOpAndUnconsumed(t *testing.T) {
 	snap, _ := sys.Snapshot("NC", id)
 	if !snap.Data["WF.I2"].Equal(expr.Num(9)) {
 		t.Errorf("unconsumed input not updated: %v", snap.Data["WF.I2"])
+	}
+}
+
+// waitReplicasDrained blocks until no agent holds a live replica.
+func waitReplicasDrained(t *testing.T, sys *System) {
+	t.Helper()
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		live := 0
+		for _, name := range sys.AgentNames() {
+			live += sys.Agent(name).ReplicaCount()
+		}
+		if live == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d replicas still live", live)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRetirementDrainsAllReplicas(t *testing.T) {
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	reg.Register("pa", tracked(rec, "a", map[string]expr.Value{"O1": expr.Num(1)}))
+	reg.Register("pb", tracked(rec, "b", map[string]expr.Value{"O1": expr.Num(2)}))
+	s := model.NewSchema("Lin", "I1").
+		Step("A", "pa", model.WithOutputs("O1"), model.WithAgents("a1")).
+		Step("B", "pb", model.WithInputs("A.O1"), model.WithOutputs("O1"), model.WithAgents("a2")).
+		Seq("A", "B").
+		MustBuild()
+	sys, err := NewSystem(SystemConfig{
+		Library:            lib1(s),
+		Programs:           reg,
+		Collector:          metrics.NewCollector(),
+		Agents:             []string{"a1", "a2", "a3"},
+		StatusPollInterval: 10 * time.Millisecond,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	id := runToStatus(t, sys, "Lin", map[string]expr.Value{"I1": expr.Num(1)}, wfdb.Committed)
+
+	// The coordinator retires its replica at commit; the other agents drop
+	// theirs on the purge broadcast or their next sweep. Either way the
+	// fleet ends with zero resident replicas.
+	waitReplicasDrained(t, sys)
+
+	// The coordination agent's archive holds the full final state.
+	snap, ok := sys.SnapshotAt("a1", "Lin", id)
+	if !ok || snap.Status != wfdb.Committed {
+		t.Fatalf("SnapshotAt coordinator = (%v, %v)", snap, ok)
+	}
+	if !snap.Data["B.O1"].Equal(expr.Num(2)) {
+		t.Fatalf("archived data = %v", snap.Data)
+	}
+	if st, ok := sys.Status("Lin", id); !ok || st != wfdb.Committed {
+		t.Fatalf("Status = (%v, %v)", st, ok)
+	}
+	if st, err := sys.Wait("Lin", id, waitTimeout); err != nil || st != wfdb.Committed {
+		t.Fatalf("Wait after retirement = (%v, %v)", st, err)
+	}
+}
+
+// TestZeroPollWakeupsWhenIdle pins the push-based completion contract: once
+// every replica has retired, no StatusPollInterval-driven timer fires and no
+// poll messages cross the network. WaitCtx completes purely by notification.
+func TestZeroPollWakeupsWhenIdle(t *testing.T) {
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	reg.Register("pa", tracked(rec, "a", nil))
+	reg.Register("pb", tracked(rec, "b", nil))
+	s := model.NewSchema("ZP").
+		Step("A", "pa", model.WithAgents("a1")).
+		Step("B", "pb", model.WithAgents("a2")).
+		Seq("A", "B").
+		MustBuild()
+	const interval = 20 * time.Millisecond
+	sys, err := NewSystem(SystemConfig{
+		Library:            lib1(s),
+		Programs:           reg,
+		Collector:          metrics.NewCollector(),
+		Agents:             []string{"a1", "a2"},
+		StatusPollInterval: interval,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	runToStatus(t, sys, "ZP", nil, wfdb.Committed)
+	waitReplicasDrained(t, sys)
+	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+	defer cancel()
+	if err := sys.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	wakeups := func() int64 {
+		var n int64
+		for _, name := range sys.AgentNames() {
+			n += sys.Agent(name).SweepWakeups()
+		}
+		return n
+	}
+	msgs0, wk0 := sys.Collector().TotalMessages(), wakeups()
+	// Several poll intervals pass with the fleet idle: a standing
+	// StatusPollInterval ticker would fire here; the on-demand timer, armed
+	// only while replicas exist, must not.
+	time.Sleep(5 * interval)
+	if msgs1 := sys.Collector().TotalMessages(); msgs1 != msgs0 {
+		t.Errorf("idle fleet sent %d poll-driven messages", msgs1-msgs0)
+	}
+	if wk1 := wakeups(); wk1 != wk0 {
+		t.Errorf("idle fleet took %d sweep wakeups", wk1-wk0)
 	}
 }

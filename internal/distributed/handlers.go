@@ -1,10 +1,12 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"crew/internal/cerrors"
 	"crew/internal/coord"
 	"crew/internal/event"
 	"crew/internal/expr"
@@ -130,7 +132,16 @@ func (a *Agent) handleStepExecute(p stepExecute, from string) {
 	pkt := p.Packet
 	r, err := a.getReplica(pkt.Workflow, pkt.Instance)
 	if err != nil {
-		a.logf("StepExecute: %v", err)
+		if errors.Is(err, errRetired) {
+			// Late packet for a finished instance: the unpack still cost
+			// this agent its per-packet load unit (the paper's s·a count
+			// is independent of instance fate); only replica work is
+			// skipped. Keeping the unit keeps the Table 6 load column
+			// identical to the pre-retirement measurement.
+			a.addLoad(p.Mechanism, 1)
+		} else {
+			a.logf("StepExecute: %v", err)
+		}
 		return
 	}
 	if r.purged || r.ins.Status != wfdb.Running {
@@ -601,7 +612,9 @@ func (a *Agent) forwardPacketForStepWithReset(r *replica, target model.StepID, r
 func (a *Agent) handleStepCompleted(p stepCompleted) {
 	r, err := a.getReplica(p.Workflow, p.Instance)
 	if err != nil {
-		a.logf("StepCompleted: %v", err)
+		if !errors.Is(err, errRetired) {
+			a.logf("StepCompleted: %v", err)
+		}
 		return
 	}
 	if r.ins.Status != wfdb.Running {
@@ -634,11 +647,7 @@ func (a *Agent) finishInstance(r *replica) {
 		if err := a.cfg.AGDB.SaveSummary(r.ins.Workflow, r.ins.ID, r.ins.Status); err != nil {
 			a.logf("summary %s: %v", key, err)
 		}
-		if err := a.cfg.AGDB.Archive(r.ins); err != nil {
-			a.logf("archive %s: %v", key, err)
-		}
 	}
-	a.notifyWaiters(key, r.ins.Status)
 
 	// Coordination clean-up at the home agent.
 	if len(a.cfg.Library.Coord) > 0 {
@@ -666,17 +675,31 @@ func (a *Agent) finishInstance(r *replica) {
 			if ag == a.cfg.Name {
 				continue
 			}
-			a.send(ag, metrics.Normal, KindPurge, purgeNote{Workflow: r.ins.Workflow, Instance: r.ins.ID})
+			a.send(ag, metrics.Normal, KindPurge, purgeNote{Workflow: r.ins.Workflow, Instance: r.ins.ID, Status: r.ins.Status})
 		}
-		r.purged = true
 	}
+
+	// Retire the coordination replica itself: archive the full final state,
+	// publish the terminal status (waking completion waiters and letting the
+	// other agents' sweeps retire their replicas message-free) and drop the
+	// instance from the live table.
+	a.retireReplica(r, r.ins.Status)
 }
 
 func (a *Agent) handlePurge(p purgeNote) {
+	// Record the terminal outcome first so late packets find the instance
+	// retired, not unknown (no-op when the registry is deployment-shared:
+	// the sender already published it).
+	if p.Status != wfdb.Running {
+		a.term.Complete(p.Workflow, p.Instance, p.Status)
+	}
 	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
 	if r, ok := a.replicas[key]; ok {
 		r.purged = true
 		delete(a.replicas, key)
+		if a.cfg.OnRetired != nil {
+			a.cfg.OnRetired(r.ins.Workflow, r.ins.ID)
+		}
 	}
 	if a.cfg.AGDB != nil {
 		_ = a.cfg.AGDB.DeleteInstance(p.Workflow, p.Instance)
@@ -719,7 +742,13 @@ func (a *Agent) onStepFailure(r *replica, step model.StepID, mech metrics.Mechan
 func (a *Agent) handleWorkflowRollback(p workflowRollback) {
 	r, err := a.getReplica(p.Workflow, p.Instance)
 	if err != nil {
-		a.logf("WorkflowRollback: %v", err)
+		if errors.Is(err, errRetired) {
+			// Late rollback for a finished instance: count the unpack
+			// unit the pre-retirement path charged, skip the replica work.
+			a.addLoad(p.Mechanism, 1)
+		} else {
+			a.logf("WorkflowRollback: %v", err)
+		}
 		return
 	}
 	if r.ins.Status != wfdb.Running {
@@ -1054,10 +1083,13 @@ func (a *Agent) handleWorkflowAbort(p workflowAbort) error {
 	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
 	r, ok := a.replicas[key]
 	if !ok {
-		return fmt.Errorf("unknown instance %s", key)
+		if st, done := a.term.Status(p.Workflow, p.Instance); done && st != wfdb.Running {
+			return fmt.Errorf("%w: instance %s is %v", cerrors.ErrNotRunning, key, st)
+		}
+		return fmt.Errorf("%w: %s", cerrors.ErrUnknownInstance, key)
 	}
 	if r.ins.Status != wfdb.Running {
-		return fmt.Errorf("instance %s is %v", key, r.ins.Status)
+		return fmt.Errorf("%w: instance %s is %v", cerrors.ErrNotRunning, key, r.ins.Status)
 	}
 	if r.abort != nil {
 		return nil // abort already in progress
@@ -1174,10 +1206,13 @@ func (a *Agent) handleWorkflowChangeInputs(p workflowChangeInputs) error {
 	key := wfdb.InstanceKeyOf(p.Workflow, p.Instance)
 	r, ok := a.replicas[key]
 	if !ok {
-		return fmt.Errorf("unknown instance %s", key)
+		if st, done := a.term.Status(p.Workflow, p.Instance); done && st != wfdb.Running {
+			return fmt.Errorf("%w: instance %s is %v", cerrors.ErrNotRunning, key, st)
+		}
+		return fmt.Errorf("%w: %s", cerrors.ErrUnknownInstance, key)
 	}
 	if r.ins.Status != wfdb.Running {
-		return fmt.Errorf("instance %s is %v", key, r.ins.Status)
+		return fmt.Errorf("%w: instance %s is %v", cerrors.ErrNotRunning, key, r.ins.Status)
 	}
 	a.addLoad(metrics.InputChange, 1)
 	changed := make(map[string]expr.Value)
@@ -1297,12 +1332,25 @@ func (a *Agent) handleNestedResult(p nestedResult) {
 // (the paper's predecessor-failure detection).
 func (a *Agent) sweep() {
 	now := time.Now()
-	// Snapshot: evaluation can start nested instances, mutating the map.
+	// Snapshot: evaluation can start nested instances and retirement evicts
+	// entries, both mutating the map.
 	replicas := make([]*replica, 0, len(a.replicas))
 	for _, r := range a.replicas {
 		replicas = append(replicas, r)
 	}
 	for _, r := range replicas {
+		// Retire replicas of instances that finished elsewhere: the terminal
+		// registry is deployment-shared, so learning the outcome and
+		// evicting the replica costs no messages. This is what keeps every
+		// agent's resident state flat under an unbounded instance stream —
+		// without it, non-coordination agents held their replicas of
+		// committed instances forever.
+		if !r.purged {
+			if st, ok := a.term.Status(r.ins.Workflow, r.ins.ID); ok && st != wfdb.Running {
+				a.retireReplica(r, st)
+				continue
+			}
+		}
 		if r.ins.Status != wfdb.Running || r.purged {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
+	"crew/internal/wfdb"
 )
 
 // Message kind labels: the workflow interfaces of the paper's Table 1.
@@ -246,8 +247,11 @@ type nestedResult struct {
 }
 
 // purgeNote is the coordination agent's broadcast that an instance finished,
-// so agents can purge its replica.
+// so agents can purge its replica. Status carries the terminal outcome so the
+// recipient records it in the terminal registry before dropping the replica
+// (late packets for the instance must stay recognizably retired, not unknown).
 type purgeNote struct {
 	Workflow string
 	Instance int
+	Status   wfdb.Status
 }

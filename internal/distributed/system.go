@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"crew/internal/cerrors"
 	"crew/internal/expr"
+	"crew/internal/itable"
 	"crew/internal/metrics"
 	"crew/internal/model"
 	"crew/internal/nav"
@@ -27,9 +27,15 @@ type SystemConfig struct {
 	Agents []string
 	// AGDBs optionally gives each agent a database (len must match Agents).
 	AGDBs              []*wfdb.DB
-	DisableOCR         bool
-	ExplicitElection   bool
-	PurgeOnCommit      bool
+	DisableOCR       bool
+	ExplicitElection bool
+	PurgeOnCommit    bool
+	// StatusPollInterval and StatusPollAge pace the agents' on-demand
+	// maintenance sweep.
+	//
+	// Deprecated: the standing status-poll timer is gone; completion is
+	// push-based and the sweep timer is armed only while an agent holds live
+	// replicas. See distributed.Config.
 	StatusPollInterval time.Duration
 	StatusPollAge      time.Duration
 	Logf               func(format string, args ...any)
@@ -45,15 +51,22 @@ type System struct {
 	lib    *model.Library
 	col    *metrics.Collector
 
-	mu     sync.Mutex
-	nextID map[string]int
+	// term is the deployment-wide terminal-status registry shared by every
+	// agent: WaitCtx subscribes to it, user operations pre-check it, and
+	// agents retire replicas of finished instances against it.
+	term *itable.Terminal
+	// nextID allocates per-workflow instance ids (workflow-level entries,
+	// ID 0). Sharded: concurrent Start calls for different workflows — and
+	// mostly for the same one — do not contend on a single system lock.
+	nextID itable.Map[int]
 	// coordName remembers the coordination agent elected when an instance
 	// started. Later operations (Wait, Abort, Status, ...) must route to that
 	// same agent: re-electing with a liveness filter while the coordinator is
 	// crashed would silently address a different agent, which never learns
 	// the instance's fate. A crashed coordinator is reachable for local
 	// subscription, and its parked protocol traffic drains on recovery.
-	coordName map[string]string
+	// Entries are evicted when the instance retires.
+	coordName itable.Map[string]
 
 	closed atomic.Bool
 }
@@ -82,13 +95,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 
 	net := transport.New(cfg.Collector)
 	sys := &System{
-		net:       net,
-		agents:    make(map[string]*Agent, len(names)),
-		names:     append([]string(nil), names...),
-		lib:       cfg.Library,
-		col:       cfg.Collector,
-		nextID:    make(map[string]int),
-		coordName: make(map[string]string),
+		net:    net,
+		agents: make(map[string]*Agent, len(names)),
+		names:  append([]string(nil), names...),
+		lib:    cfg.Library,
+		col:    cfg.Collector,
+		term:   new(itable.Terminal),
+	}
+	onRetired := func(workflow string, id int) {
+		sys.coordName.Delete(itable.Ref{Workflow: workflow, ID: id})
 	}
 	for i, name := range names {
 		var db *wfdb.DB
@@ -105,6 +120,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			DisableOCR:         cfg.DisableOCR,
 			ExplicitElection:   cfg.ExplicitElection,
 			PurgeOnCommit:      cfg.PurgeOnCommit,
+			Terminal:           sys.term,
+			OnRetired:          onRetired,
 			StatusPollInterval: cfg.StatusPollInterval,
 			StatusPollAge:      cfg.StatusPollAge,
 			Logf:               cfg.Logf,
@@ -134,9 +151,7 @@ func (s *System) AgentNames() []string { return append([]string(nil), s.names...
 // remembered from its start, or (for instances this front end did not start)
 // the elected executor of the schema's first start step.
 func (s *System) coordinationAgent(workflow string, id int) (*Agent, error) {
-	s.mu.Lock()
-	name, known := s.coordName[wfdb.InstanceKeyOf(workflow, id)]
-	s.mu.Unlock()
+	name, known := s.coordName.Get(itable.Ref{Workflow: workflow, ID: id})
 	if known {
 		if ag, ok := s.agents[name]; ok {
 			return ag, nil
@@ -169,9 +184,12 @@ func (s *System) electCoordinator(workflow string, id int) (*Agent, error) {
 	if !ok {
 		return nil, fmt.Errorf("distributed: elected unknown agent %q", name)
 	}
-	s.mu.Lock()
-	s.coordName[wfdb.InstanceKeyOf(workflow, id)] = name
-	s.mu.Unlock()
+	// Remember the election only while the instance is live: a retired
+	// instance's queries answer from the terminal registry and must not
+	// repopulate the routing table.
+	if st, done := s.term.Status(workflow, id); !done || st == wfdb.Running {
+		s.coordName.Put(itable.Ref{Workflow: workflow, ID: id}, name)
+	}
 	return ag, nil
 }
 
@@ -201,10 +219,7 @@ func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[strin
 	if err := s.admit(ctx, workflow); err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.nextID[workflow]++
-	id := s.nextID[workflow]
-	s.mu.Unlock()
+	id := s.nextID.Update(itable.Ref{Workflow: workflow}, func(v int, _ bool) int { return v + 1 })
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return 0, err
@@ -218,13 +233,19 @@ func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[strin
 // StartSeq launches an instance under an externally assigned ID. Placement is
 // a pure function of (workflow, id) — the elected coordination agent — so the
 // global sequence number is unused; accepting it lets concurrent drivers
-// start instances in any order without changing where work lands.
+// start instances in any order without changing where work lands. A StartSeq
+// racing Close fails with cerrors.ErrClosed instead of panicking on the
+// closed transport.
 func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
-	s.mu.Lock()
-	if id > s.nextID[workflow] {
-		s.nextID[workflow] = id
+	if s.closed.Load() {
+		return fmt.Errorf("distributed: %w", cerrors.ErrClosed)
 	}
-	s.mu.Unlock()
+	s.nextID.Update(itable.Ref{Workflow: workflow}, func(v int, _ bool) int {
+		if id > v {
+			return id
+		}
+		return v
+	})
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return err
@@ -263,36 +284,44 @@ func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Stat
 	return s.WaitCtx(ctx, workflow, id)
 }
 
-// WaitCtx blocks until the instance terminates or ctx ends. A deadline expiry
-// is reported as cerrors.ErrTimeout (errors.Is-matchable); a plain
+// WaitCtx blocks until the instance terminates or ctx ends. Completion is
+// push-based: the call subscribes to the deployment's shared terminal
+// registry and is woken by the closing of the instance's waiter channel — no
+// status polling and no agent-goroutine round-trip, so a Wait can neither
+// stall behind a long-running step program nor wake any agent. A deadline
+// expiry is reported as cerrors.ErrTimeout (errors.Is-matchable); a plain
 // cancellation as ctx.Err(). An expired ctx wins even when the terminal
 // status lands at the same instant, so the deadline contract is deterministic.
 func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
 	if err := s.admit(ctx, ""); err != nil {
 		return 0, err
 	}
+	st, done, w, gen := s.term.Subscribe(workflow, id)
+	if done {
+		return st, nil
+	}
+	// Fresh-deployment-over-old-AGDBs: completions from a previous
+	// incarnation exist only as summaries in the coordination agent's
+	// database (read directly — the store is internally synchronized).
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
+		s.term.Unsubscribe(workflow, id, w, gen)
 		return 0, err
 	}
-	// Subscribing runs on the agent goroutine, which may be busy executing a
-	// step program; do it asynchronously so ctx can interrupt the wait for
-	// the subscription itself.
-	sub := make(chan (<-chan wfdb.Status), 1)
-	go func() { sub <- ag.WaitChan(workflow, id) }()
-	var ch <-chan wfdb.Status
-	select {
-	case ch = <-sub:
-	case <-ctx.Done():
-		return 0, s.waitErr(ctx, workflow, id)
+	if db := ag.DB(); db != nil {
+		if sum, found, _ := db.LoadSummary(workflow, id); found && sum != wfdb.Running {
+			s.term.Unsubscribe(workflow, id, w, gen)
+			return sum, nil
+		}
 	}
 	select {
-	case st := <-ch:
+	case <-w.Done():
 		if ctx.Err() != nil {
 			return 0, s.waitErr(ctx, workflow, id)
 		}
-		return st, nil
+		return w.Result(), nil
 	case <-ctx.Done():
+		s.term.Unsubscribe(workflow, id, w, gen)
 		return 0, s.waitErr(ctx, workflow, id)
 	}
 }
@@ -305,8 +334,12 @@ func (s *System) waitErr(ctx context.Context, workflow string, id int) error {
 	return ctx.Err()
 }
 
-// Abort requests a user abort via the WorkflowAbort WI.
+// Abort requests a user abort via the WorkflowAbort WI. A retired instance
+// reports cerrors.ErrNotRunning without touching any agent.
 func (s *System) Abort(workflow string, id int) error {
+	if st, ok := s.term.Status(workflow, id); ok && st != wfdb.Running {
+		return fmt.Errorf("distributed: %w: %s.%d is %v", cerrors.ErrNotRunning, workflow, id, st)
+	}
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return err
@@ -316,6 +349,9 @@ func (s *System) Abort(workflow string, id int) error {
 
 // ChangeInputs applies user input changes via WorkflowChangeInputs.
 func (s *System) ChangeInputs(workflow string, id int, inputs map[string]expr.Value) error {
+	if st, ok := s.term.Status(workflow, id); ok && st != wfdb.Running {
+		return fmt.Errorf("distributed: %w: %s.%d is %v", cerrors.ErrNotRunning, workflow, id, st)
+	}
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return err
@@ -323,8 +359,12 @@ func (s *System) ChangeInputs(workflow string, id int, inputs map[string]expr.Va
 	return ag.RequestChangeInputs(workflow, id, inputs)
 }
 
-// Status serves the WorkflowStatus WI.
+// Status serves the WorkflowStatus WI: the shared terminal registry answers
+// for every finished instance, live ones ask their coordination agent.
 func (s *System) Status(workflow string, id int) (wfdb.Status, bool) {
+	if st, ok := s.term.Status(workflow, id); ok {
+		return st, true
+	}
 	ag, err := s.coordinationAgent(workflow, id)
 	if err != nil {
 		return 0, false

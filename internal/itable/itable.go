@@ -1,0 +1,340 @@
+// Package itable provides the sharded instance-state tables behind the
+// steady-state runtime layer: a generic fixed-shard map keyed by
+// (workflow, id) for cross-goroutine routing state (owners, coordinator
+// names, next-id counters), and Terminal, a sharded terminal-status
+// registry with pooled, generation-stamped completion waiters.
+//
+// Shards are fixed at construction (a power of two) and each shard is
+// guarded by its own mutex, so concurrent Start / event-delivery / Wait
+// traffic for different instances does not contend on a single lock.
+// Sharding is an implementation detail of one logical table: it adds no
+// control nodes and sends no messages, so the paper's per-architecture
+// message and load columns (Tables 3-7) are unaffected.
+package itable
+
+import (
+	"sync"
+
+	"crew/internal/wfdb"
+)
+
+// shardCount is the fixed number of shards. A power of two so the shard
+// index is a mask, sized well past the core counts the simulator runs at.
+const shardCount = 64
+
+// Ref names one workflow instance.
+type Ref struct {
+	Workflow string
+	ID       int
+}
+
+// shardOf hashes a (workflow, id) pair onto a shard. The workflow name is
+// FNV-1a hashed once and the id is folded in additively, which both spreads
+// sequential ids of one workflow across all shards and keeps the residue
+// class of ids within a shard fixed — the property Terminal's dense status
+// vectors index by.
+func shardOf(workflow string, id int) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(workflow); i++ {
+		h ^= uint32(workflow[i])
+		h *= 16777619
+	}
+	return (h + uint32(id)) & (shardCount - 1)
+}
+
+// Map is a fixed-shard concurrent map keyed by instance Ref. Workflow-level
+// entries (for example per-workflow id counters) use ID 0.
+type Map[V any] struct {
+	shards [shardCount]mapShard[V]
+}
+
+type mapShard[V any] struct {
+	mu sync.RWMutex
+	m  map[Ref]V
+}
+
+// Get returns the value stored for ref, if any.
+func (t *Map[V]) Get(ref Ref) (V, bool) {
+	s := &t.shards[shardOf(ref.Workflow, ref.ID)]
+	s.mu.RLock()
+	v, ok := s.m[ref]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores v for ref.
+func (t *Map[V]) Put(ref Ref, v V) {
+	s := &t.shards[shardOf(ref.Workflow, ref.ID)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[Ref]V)
+	}
+	s.m[ref] = v
+	s.mu.Unlock()
+}
+
+// Delete removes ref's entry, reporting whether one existed.
+func (t *Map[V]) Delete(ref Ref) bool {
+	s := &t.shards[shardOf(ref.Workflow, ref.ID)]
+	s.mu.Lock()
+	_, ok := s.m[ref]
+	if ok {
+		delete(s.m, ref)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Update applies fn to the current value (zero value if absent) under the
+// shard lock and stores the result, returning it. Used for atomic
+// read-modify-write of counters such as per-workflow next ids.
+func (t *Map[V]) Update(ref Ref, fn func(v V, ok bool) V) V {
+	s := &t.shards[shardOf(ref.Workflow, ref.ID)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[Ref]V)
+	}
+	v, ok := s.m[ref]
+	v = fn(v, ok)
+	s.m[ref] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Len reports the total number of entries across all shards.
+func (t *Map[V]) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. Each shard is
+// snapshotted under its lock before fn runs, so fn may call back into the
+// map.
+func (t *Map[V]) Range(fn func(ref Ref, v V) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		refs := make([]Ref, 0, len(s.m))
+		vals := make([]V, 0, len(s.m))
+		for r, v := range s.m {
+			refs = append(refs, r)
+			vals = append(vals, v)
+		}
+		s.mu.RUnlock()
+		for j, r := range refs {
+			if !fn(r, vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// denseLimit bounds the ids recorded in the dense per-workflow status
+// vectors; larger ids (nested children are numbered parentID*1000+attempt)
+// fall back to a sparse map so one huge id cannot balloon the vector.
+const denseLimit = 1 << 20
+
+// Terminal is the push-based completion registry: a sharded table mapping
+// every finished instance to its terminal status, plus per-instance waiter
+// channels closed exactly once when the instance commits or aborts.
+//
+// Status storage is deliberately tiny — one byte per instance in a dense
+// per-workflow vector — so the registry stays resident after the instance
+// itself has been archived and evicted, and resident memory stays flat
+// under an unbounded instance stream.
+//
+// Waiters are pooled and generation-stamped: a waiter returned to the pool
+// bumps its generation, so a stale Unsubscribe (for example a context
+// cancellation racing a recycle) can never release a later subscriber's
+// waiter.
+type Terminal struct {
+	shards [shardCount]termShard
+}
+
+type termShard struct {
+	mu     sync.Mutex
+	dense  map[string][]byte // workflow -> status+1, indexed by id>>6
+	sparse map[Ref]wfdb.Status
+	waits  map[Ref]*Waiter
+	count  int
+}
+
+// Waiter is a pooled completion handle. Done is closed when the instance
+// reaches a terminal status; Result is valid after Done is closed.
+type Waiter struct {
+	gen  uint64
+	refs int
+	st   wfdb.Status
+	done chan struct{}
+}
+
+// Done returns the channel closed at terminal status.
+func (w *Waiter) Done() <-chan struct{} { return w.done }
+
+// Result returns the terminal status. Only valid after Done is closed.
+func (w *Waiter) Result() wfdb.Status { return w.st }
+
+var waiterPool = sync.Pool{New: func() any {
+	return &Waiter{done: make(chan struct{})}
+}}
+
+// Status reports the recorded terminal status of the instance, if any.
+func (t *Terminal) Status(workflow string, id int) (wfdb.Status, bool) {
+	s := &t.shards[shardOf(workflow, id)]
+	s.mu.Lock()
+	st, ok := s.status(workflow, id)
+	s.mu.Unlock()
+	return st, ok
+}
+
+// status reads the shard's record for (workflow, id). Caller holds s.mu.
+func (s *termShard) status(workflow string, id int) (wfdb.Status, bool) {
+	if id > 0 && id < denseLimit {
+		if vec := s.dense[workflow]; id>>6 < len(vec) {
+			if b := vec[id>>6]; b != 0 {
+				return wfdb.Status(b - 1), true
+			}
+		}
+		return 0, false
+	}
+	st, ok := s.sparse[Ref{workflow, id}]
+	return st, ok
+}
+
+// setStatus records st for (workflow, id). Caller holds s.mu. Reports
+// whether this was the first record (false on duplicate Complete).
+func (s *termShard) setStatus(workflow string, id int, st wfdb.Status) bool {
+	if id > 0 && id < denseLimit {
+		if s.dense == nil {
+			s.dense = make(map[string][]byte)
+		}
+		vec := s.dense[workflow]
+		if idx := id >> 6; idx >= len(vec) {
+			grown := make([]byte, idx+1)
+			copy(grown, vec)
+			vec = grown
+			s.dense[workflow] = vec
+		}
+		if s.dense[workflow][id>>6] != 0 {
+			return false
+		}
+		s.dense[workflow][id>>6] = byte(st) + 1
+		return true
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[Ref]wfdb.Status)
+	}
+	if _, ok := s.sparse[Ref{workflow, id}]; ok {
+		return false
+	}
+	s.sparse[Ref{workflow, id}] = st
+	return true
+}
+
+// Complete records the terminal status for an instance and closes its
+// waiter, if any, waking every subscriber. Duplicate completions keep the
+// first status and are otherwise no-ops.
+func (t *Terminal) Complete(workflow string, id int, st wfdb.Status) {
+	s := &t.shards[shardOf(workflow, id)]
+	ref := Ref{workflow, id}
+	s.mu.Lock()
+	if !s.setStatus(workflow, id, st) {
+		s.mu.Unlock()
+		return
+	}
+	s.count++
+	w := s.waits[ref]
+	if w != nil {
+		delete(s.waits, ref)
+	}
+	s.mu.Unlock()
+	if w != nil {
+		// Publish the status before the close: subscribers observe st via
+		// the happens-before edge of the channel close. A completed waiter
+		// is never pooled (its done channel is spent), so this write can
+		// never race a recycled use.
+		w.st = st
+		close(w.done)
+	}
+}
+
+// Subscribe registers interest in an instance's completion. If the
+// instance is already terminal it returns (st, true, nil, 0) and nothing
+// needs releasing. Otherwise it returns a waiter and the generation stamp
+// that must be passed back to Unsubscribe if the caller stops waiting
+// before Done closes; after Done closes no Unsubscribe is needed.
+func (t *Terminal) Subscribe(workflow string, id int) (st wfdb.Status, done bool, w *Waiter, gen uint64) {
+	s := &t.shards[shardOf(workflow, id)]
+	ref := Ref{workflow, id}
+	s.mu.Lock()
+	if st, ok := s.status(workflow, id); ok {
+		s.mu.Unlock()
+		return st, true, nil, 0
+	}
+	w = s.waits[ref]
+	if w == nil {
+		w = waiterPool.Get().(*Waiter)
+		if s.waits == nil {
+			s.waits = make(map[Ref]*Waiter)
+		}
+		s.waits[ref] = w
+	}
+	w.refs++
+	gen = w.gen
+	s.mu.Unlock()
+	return 0, false, w, gen
+}
+
+// Unsubscribe releases one Subscribe reference for a waiter whose Done
+// never closed (context cancellation, timeout). The generation stamp makes
+// stale calls — racing a Complete that already detached the waiter, or
+// arriving after the waiter was recycled for a new instance — harmless.
+func (t *Terminal) Unsubscribe(workflow string, id int, w *Waiter, gen uint64) {
+	s := &t.shards[shardOf(workflow, id)]
+	ref := Ref{workflow, id}
+	s.mu.Lock()
+	cur, ok := s.waits[ref]
+	if !ok || cur != w || w.gen != gen {
+		s.mu.Unlock()
+		return
+	}
+	w.refs--
+	if w.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.waits, ref)
+	w.gen++ // invalidate outstanding stamps before the recycle
+	s.mu.Unlock()
+	waiterPool.Put(w)
+}
+
+// Len reports the number of recorded terminal instances.
+func (t *Terminal) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.count
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Waiting reports the number of instances with live waiters, for tests.
+func (t *Terminal) Waiting() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.waits)
+		s.mu.Unlock()
+	}
+	return n
+}

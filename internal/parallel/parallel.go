@@ -13,7 +13,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +20,7 @@ import (
 	"crew/internal/cerrors"
 	"crew/internal/coord"
 	"crew/internal/expr"
+	"crew/internal/itable"
 	"crew/internal/metrics"
 	"crew/internal/model"
 	"crew/internal/transport"
@@ -108,10 +108,19 @@ type System struct {
 	// without locking.
 	handles map[string]*transport.Handle
 
-	mu     sync.Mutex
-	owner  map[string]int // instance key -> engine index
-	nextID map[string]int
-	rr     int
+	// owner and nextID are fixed-shard tables (hash on workflow+id), so
+	// concurrent Start/Wait/routing traffic for different instances does not
+	// contend on one system mutex. Owner entries are dropped when the owning
+	// engine retires the instance (OnRetired), keeping the table flat.
+	owner  itable.Map[int] // instance ref -> engine index
+	nextID itable.Map[int] // {workflow, 0} -> last assigned ID
+	rr     atomic.Int64
+
+	// term is the terminal-status registry shared by every engine; archive
+	// is the shared retirement archive of DB-less deployments, so any engine
+	// can answer Snapshot for a retired instance.
+	term    *itable.Terminal
+	archive *wfdb.DB
 
 	library *model.Library
 	closed  atomic.Bool
@@ -146,9 +155,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	sys := &System{
 		net:     net,
 		col:     cfg.Collector,
-		owner:   make(map[string]int),
-		nextID:  make(map[string]int),
 		library: cfg.Library,
+		term:    new(itable.Terminal),
+		archive: wfdb.NewMemory(),
 	}
 
 	for i := 0; i < cfg.Engines; i++ {
@@ -165,8 +174,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			Programs:   cfg.Programs,
 			Collector:  cfg.Collector,
 			DB:         db,
+			Archive:    sys.archive,
+			Terminal:   sys.term,
 			DisableOCR: cfg.DisableOCR,
 			Logf:       cfg.Logf,
+			OnRetired: func(workflow string, id int) {
+				sys.owner.Delete(itable.Ref{Workflow: workflow, ID: id})
+			},
 			OnUnhandled: func(m transport.Message) {
 				sys.onCoordMessage(idx, m)
 			},
@@ -219,16 +233,13 @@ func (s *System) Network() *transport.Network { return s.net }
 
 // ownerOf returns the engine index owning an instance (defaults to 0).
 func (s *System) ownerOf(inst coord.InstanceRef) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.owner[wfdb.InstanceKeyOf(inst.Workflow, inst.ID)]
+	idx, _ := s.owner.Get(itable.Ref{Workflow: inst.Workflow, ID: inst.ID})
+	return idx
 }
 
 // engineFor returns the engine owning an instance.
 func (s *System) engineFor(workflow string, id int) *central.Engine {
-	s.mu.Lock()
-	idx := s.owner[wfdb.InstanceKeyOf(workflow, id)]
-	s.mu.Unlock()
+	idx, _ := s.owner.Get(itable.Ref{Workflow: workflow, ID: id})
 	return s.engines[idx]
 }
 
@@ -259,15 +270,10 @@ func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[strin
 	if err := s.admit(ctx, workflow); err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.nextID[workflow]++
-	id := s.nextID[workflow]
-	idx := s.rr % len(s.engines)
-	s.rr++
-	s.owner[wfdb.InstanceKeyOf(workflow, id)] = idx
-	eng := s.engines[idx]
-	s.mu.Unlock()
-	if err := eng.StartWithID(workflow, id, inputs); err != nil {
+	id := s.nextID.Update(itable.Ref{Workflow: workflow}, func(v int, _ bool) int { return v + 1 })
+	idx := int(s.rr.Add(1)-1) % len(s.engines)
+	s.owner.Put(itable.Ref{Workflow: workflow, ID: id}, idx)
+	if err := s.engines[idx].StartWithID(workflow, id, inputs); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -277,20 +283,28 @@ func (s *System) StartCtx(ctx context.Context, workflow string, inputs map[strin
 // sequence number. The owning engine is seq modulo the engine count — the
 // same placement the round-robin Start produces when instances are started
 // one at a time in sequence order — so concurrent drivers reproduce the
-// sequential placement exactly regardless of call interleaving.
+// sequential placement exactly regardless of call interleaving. A StartSeq
+// racing Close fails with cerrors.ErrClosed instead of panicking on the
+// closed transport.
 func (s *System) StartSeq(workflow string, id, seq int, inputs map[string]expr.Value) error {
+	if s.closed.Load() {
+		return fmt.Errorf("parallel: %w", cerrors.ErrClosed)
+	}
 	idx := seq % len(s.engines)
-	s.mu.Lock()
-	if id > s.nextID[workflow] {
-		s.nextID[workflow] = id
+	s.nextID.Update(itable.Ref{Workflow: workflow}, func(v int, _ bool) int {
+		if id > v {
+			return id
+		}
+		return v
+	})
+	for {
+		cur := s.rr.Load()
+		if int64(seq+1) <= cur || s.rr.CompareAndSwap(cur, int64(seq+1)) {
+			break
+		}
 	}
-	if seq >= s.rr {
-		s.rr = seq + 1
-	}
-	s.owner[wfdb.InstanceKeyOf(workflow, id)] = idx
-	eng := s.engines[idx]
-	s.mu.Unlock()
-	return eng.StartWithID(workflow, id, inputs)
+	s.owner.Put(itable.Ref{Workflow: workflow, ID: id}, idx)
+	return s.engines[idx].StartWithID(workflow, id, inputs)
 }
 
 // Quiesce blocks until no message is queued, undelivered or still being
@@ -323,17 +337,31 @@ func (s *System) Wait(workflow string, id int, timeout time.Duration) (wfdb.Stat
 	return s.WaitCtx(ctx, workflow, id)
 }
 
-// WaitCtx blocks until the instance terminates or ctx ends. A deadline expiry
-// is reported as cerrors.ErrTimeout (errors.Is-matchable); a plain
-// cancellation as ctx.Err().
+// WaitCtx blocks until the instance terminates or ctx ends. Completion is
+// push-based: the call subscribes to the shared terminal registry and is
+// woken by the owning engine publishing the terminal status — no routing
+// through the owner map (which drops retired instances) and no polling.
+// A deadline expiry is reported as cerrors.ErrTimeout (errors.Is-matchable);
+// a plain cancellation as ctx.Err().
 func (s *System) WaitCtx(ctx context.Context, workflow string, id int) (wfdb.Status, error) {
 	if err := s.admit(ctx, ""); err != nil {
 		return 0, err
 	}
-	select {
-	case st := <-s.engineFor(workflow, id).WaitChan(workflow, id):
+	st, done, w, gen := s.term.Subscribe(workflow, id)
+	if done {
 		return st, nil
+	}
+	// An instance that finished under a previous engine incarnation exists
+	// only as a database summary; the registry will never fire for it.
+	if cur, ok := s.engineFor(workflow, id).Status(workflow, id); ok && cur != wfdb.Running {
+		s.term.Unsubscribe(workflow, id, w, gen)
+		return cur, nil
+	}
+	select {
+	case <-w.Done():
+		return w.Result(), nil
 	case <-ctx.Done():
+		s.term.Unsubscribe(workflow, id, w, gen)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return 0, fmt.Errorf("parallel: %w: %s.%d", cerrors.ErrTimeout, workflow, id)
 		}
@@ -356,9 +384,19 @@ func (s *System) Status(workflow string, id int) (wfdb.Status, bool) {
 	return s.engineFor(workflow, id).Status(workflow, id)
 }
 
-// Snapshot returns a deep copy of the instance state.
+// Snapshot returns a deep copy of the instance state. Retired instances
+// answer from the shared archive via any engine; DB-backed deployments fall
+// back to scanning each engine's own archive.
 func (s *System) Snapshot(workflow string, id int) (*wfdb.Instance, bool) {
-	return s.engineFor(workflow, id).Snapshot(workflow, id)
+	if ins, ok := s.engineFor(workflow, id).Snapshot(workflow, id); ok {
+		return ins, true
+	}
+	for _, e := range s.engines {
+		if ins, ok := e.Snapshot(workflow, id); ok {
+			return ins, true
+		}
+	}
+	return nil, false
 }
 
 // Close shuts the deployment down. Later context-aware calls fail with

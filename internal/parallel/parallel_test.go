@@ -393,3 +393,44 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("Engines() = %d, want 1", sys.Engines())
 	}
 }
+
+func TestRetirementEvictsOwnerMap(t *testing.T) {
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	lib := linLib(reg, rec)
+	sys := newSystem(t, 3, lib, reg)
+
+	const n = 9
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := sys.Start("Lin", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if st, err := sys.Wait("Lin", id, waitTimeout); err != nil || st != wfdb.Committed {
+			t.Fatalf("Lin.%d = (%v, %v)", id, st, err)
+		}
+	}
+	// Every instance retired: the routing table holds no refs and no engine
+	// holds live state, yet the API still answers from the shared archive.
+	if got := sys.owner.Len(); got != 0 {
+		t.Fatalf("owner map holds %d refs after retirement", got)
+	}
+	for i := 0; i < sys.Engines(); i++ {
+		if live := sys.engines[i].LiveInstances(); live != 0 {
+			t.Fatalf("engine %d still holds %d live instances", i, live)
+		}
+	}
+	for _, id := range ids {
+		if st, ok := sys.Status("Lin", id); !ok || st != wfdb.Committed {
+			t.Fatalf("Status(%d) = (%v, %v)", id, st, ok)
+		}
+		snap, ok := sys.Snapshot("Lin", id)
+		if !ok || snap.Status != wfdb.Committed {
+			t.Fatalf("Snapshot(%d) missing after retirement", id)
+		}
+	}
+}

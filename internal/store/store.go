@@ -38,6 +38,12 @@ type Store struct {
 	f      *os.File // nil for memory-only stores
 	tables map[string]map[string][]byte
 	writes int64
+
+	// Spilled tables keep only a fixed-size (offset, length) reference in
+	// memory; the value bytes live in the append-only side file spillF.
+	spill    map[string]bool
+	spillF   *os.File
+	spillOff int64
 }
 
 // OpenMemory returns a store without a backing file; Put/Delete apply only to
@@ -139,6 +145,81 @@ func (s *Store) append(rec record) error {
 // ErrClosed is returned by mutations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// spillRefLen is the in-memory footprint of a spilled value: an 8-byte file
+// offset plus a 4-byte length. Within a spilled table every resident value
+// is a reference, so no sentinel byte is needed to tell them apart.
+const spillRefLen = 12
+
+// Spill moves a table's resident values into an append-only side file
+// (<path>.spill), leaving only 12-byte references in memory, and routes all
+// future writes to that table the same way. Reads transparently fetch the
+// bytes back with ReadAt. The WAL remains the sole durability source — the
+// side file is rebuilt from it on the next Open+Spill — so a stale or
+// missing spill file after a crash is harmless.
+//
+// Spill keeps resident memory flat when a table grows without bound (the
+// instance archive under a sustained workload stream). It is a no-op for
+// memory-only stores, which have nowhere to spill.
+func (s *Store) Spill(table string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables == nil {
+		return ErrClosed
+	}
+	if s.f == nil || s.spill[table] {
+		return nil
+	}
+	if s.spillF == nil {
+		// Truncate: any previous side file belongs to a prior incarnation
+		// whose references did not survive the restart.
+		f, err := os.OpenFile(s.path+".spill", os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: spill %s: %w", table, err)
+		}
+		s.spillF = f
+		s.spillOff = 0
+	}
+	for k, v := range s.tables[table] {
+		ref, err := s.spillValue(v)
+		if err != nil {
+			return err
+		}
+		s.tables[table][k] = ref
+	}
+	if s.spill == nil {
+		s.spill = make(map[string]bool)
+	}
+	s.spill[table] = true
+	return nil
+}
+
+// spillValue appends v to the side file and returns its reference.
+// Caller holds s.mu.
+func (s *Store) spillValue(v []byte) ([]byte, error) {
+	if _, err := s.spillF.WriteAt(v, s.spillOff); err != nil {
+		return nil, fmt.Errorf("store: spill write: %w", err)
+	}
+	ref := make([]byte, spillRefLen)
+	binary.LittleEndian.PutUint64(ref[0:8], uint64(s.spillOff))
+	binary.LittleEndian.PutUint32(ref[8:12], uint32(len(v)))
+	s.spillOff += int64(len(v))
+	return ref, nil
+}
+
+// readSpill dereferences a spilled value. Caller holds s.mu (read or write).
+func (s *Store) readSpill(ref []byte) ([]byte, error) {
+	if len(ref) != spillRefLen {
+		return nil, fmt.Errorf("store: corrupt spill reference (%d bytes)", len(ref))
+	}
+	off := int64(binary.LittleEndian.Uint64(ref[0:8]))
+	n := binary.LittleEndian.Uint32(ref[8:12])
+	buf := make([]byte, n)
+	if _, err := s.spillF.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("store: spill read: %w", err)
+	}
+	return buf, nil
+}
+
 // Put writes value under table/key. The value is copied.
 func (s *Store) Put(table, key string, value []byte) error {
 	s.mu.Lock()
@@ -149,6 +230,15 @@ func (s *Store) Put(table, key string, value []byte) error {
 	v := append([]byte(nil), value...)
 	if err := s.append(record{Table: table, Key: key, Value: v}); err != nil {
 		return err
+	}
+	if s.spill[table] {
+		// The WAL record above carries the real bytes (durability); only the
+		// resident copy is demoted to a side-file reference.
+		ref, err := s.spillValue(v)
+		if err != nil {
+			return err
+		}
+		v = ref
 	}
 	s.apply(record{Table: table, Key: key, Value: v})
 	s.writes++
@@ -191,6 +281,13 @@ func (s *Store) Get(table, key string) ([]byte, bool) {
 	v, ok := tbl[key]
 	if !ok {
 		return nil, false
+	}
+	if s.spill[table] {
+		val, err := s.readSpill(v)
+		if err != nil {
+			return nil, false
+		}
+		return val, true
 	}
 	return append([]byte(nil), v...), true
 }
@@ -276,7 +373,19 @@ func (s *Store) Compact() error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			if err := s.append(record{Table: t, Key: k, Value: s.tables[t][k]}); err != nil {
+			v := s.tables[t][k]
+			if s.spill[t] {
+				// Compaction rewrites the WAL with real values; resident
+				// references into the (append-only) side file stay valid.
+				var err error
+				if v, err = s.readSpill(v); err != nil {
+					s.f = old
+					f.Close()
+					os.Remove(tmp)
+					return err
+				}
+			}
+			if err := s.append(record{Table: t, Key: k, Value: v}); err != nil {
 				s.f = old
 				f.Close()
 				os.Remove(tmp)
@@ -315,6 +424,10 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables = nil
+	if s.spillF != nil {
+		s.spillF.Close()
+		s.spillF = nil
+	}
 	if s.f != nil {
 		err := s.f.Close()
 		s.f = nil

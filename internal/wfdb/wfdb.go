@@ -551,6 +551,11 @@ func (db *DB) LoadArchived(workflow string, id int) (*Instance, bool, error) {
 	return fromJSON(j), true, nil
 }
 
+// SpillArchive moves the archive table's resident values to the store's
+// spill file (file-backed stores only; a documented no-op in memory), so an
+// unbounded stream of retired instances does not grow resident memory.
+func (db *DB) SpillArchive() error { return db.st.Spill(tableArchive) }
+
 // SaveSummary updates the coordination instance summary table.
 func (db *DB) SaveSummary(workflow string, id int, status Status) error {
 	return db.st.PutJSON(tableSummary, InstanceKeyOf(workflow, id), status)

@@ -78,6 +78,14 @@ func forEach(n int, work func(i int)) {
 // sequence numbers are precomputed from the sorted schema order, so the
 // workload lands on the same nodes as under the sequential legacy path.
 func Drive(t Target, w *Workload, instances int, timeout time.Duration) (*Result, error) {
+	return DriveRange(t, w, 1, instances, timeout)
+}
+
+// DriveRange is Drive over the explicit instance-id window [from, from+
+// instances) per schema. Sustained-load harnesses call it once per round with
+// increasing bases so successive rounds hit the same deployment with fresh
+// ids instead of colliding with (or resurrecting) retired instances.
+func DriveRange(t Target, w *Workload, from, instances int, timeout time.Duration) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	type ref struct {
@@ -100,7 +108,8 @@ func Drive(t Target, w *Workload, instances int, timeout time.Duration) (*Result
 	if ss, ok := t.(SeqStarter); ok {
 		for _, wf := range w.Library.Names() {
 			for i := 0; i < instances; i++ {
-				refs = append(refs, ref{wf: wf, id: i + 1, plan: w.PlanFor(wf, i+1)})
+				id := from + i
+				refs = append(refs, ref{wf: wf, id: id, plan: w.PlanFor(wf, id)})
 			}
 		}
 		var started atomic.Int64
