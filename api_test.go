@@ -74,22 +74,35 @@ func TestTypedErrorsAcrossArchitectures(t *testing.T) {
 	}
 }
 
-func TestInstanceErrorsCentral(t *testing.T) {
-	lib, reg := slowLib(t)
-	sys, err := crew.NewSystem(crew.Config{Library: lib, Programs: reg, Logf: t.Logf})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sys.Close()
-	if err := sys.Abort("Fast", 99); !errors.Is(err, crew.ErrUnknownInstance) {
-		t.Errorf("Abort(never started) = %v, want ErrUnknownInstance", err)
-	}
-	id, st, err := sys.Run("Fast", nil, waitTimeout)
-	if err != nil || st != crew.Committed {
-		t.Fatalf("run = (%v, %v)", st, err)
-	}
-	if err := sys.Abort("Fast", id); !errors.Is(err, crew.ErrNotRunning) {
-		t.Errorf("Abort(committed) = %v, want ErrNotRunning", err)
+// TestInstanceErrorsAcrossArchitectures round-trips the instance-level
+// sentinels through Abort on every architecture: an instance that never
+// existed is ErrUnknownInstance, a committed one is ErrNotRunning.
+func TestInstanceErrorsAcrossArchitectures(t *testing.T) {
+	for _, arch := range []crew.Architecture{crew.Central, crew.Parallel, crew.Distributed} {
+		t.Run(arch.String(), func(t *testing.T) {
+			lib, reg := slowLib(t)
+			sys, err := crew.NewSystem(crew.Config{
+				Library:      lib,
+				Programs:     reg,
+				Architecture: arch,
+				Agents:       []string{"a1", "a2"},
+				Logf:         t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.Abort("Fast", 99); !errors.Is(err, crew.ErrUnknownInstance) {
+				t.Errorf("Abort(never started) = %v, want ErrUnknownInstance", err)
+			}
+			id, st, err := sys.Run("Fast", nil, waitTimeout)
+			if err != nil || st != crew.Committed {
+				t.Fatalf("run = (%v, %v)", st, err)
+			}
+			if err := sys.Abort("Fast", id); !errors.Is(err, crew.ErrNotRunning) {
+				t.Errorf("Abort(committed) = %v, want ErrNotRunning", err)
+			}
+		})
 	}
 }
 
@@ -134,6 +147,29 @@ func TestConfigValidatePreflight(t *testing.T) {
 	bad.DBs = []*crew.DB{crew.NewMemoryDB()}
 	if err := bad.Validate(); err == nil {
 		t.Error("central architecture with DBs accepted")
+	}
+}
+
+// TestInvalidConfigSentinel pins the preflight error contract: every
+// rejection — Validate directly, NewSystem's internal validation, and an
+// invalid fault plan armed through WithFaults — is errors.Is-matchable
+// against ErrInvalidConfig.
+func TestInvalidConfigSentinel(t *testing.T) {
+	lib, reg := slowLib(t)
+	bad := crew.Config{Library: lib, Programs: reg, Engines: -1}
+	if err := bad.Validate(); !errors.Is(err, crew.ErrInvalidConfig) {
+		t.Errorf("Validate(bad) = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := crew.NewSystem(bad); !errors.Is(err, crew.ErrInvalidConfig) {
+		t.Errorf("NewSystem(bad) = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := crew.NewSystem(crew.Config{Programs: reg}); !errors.Is(err, crew.ErrInvalidConfig) {
+		t.Errorf("NewSystem(no library) = %v, want ErrInvalidConfig", err)
+	}
+	plan := crew.FaultPlan{Events: []crew.FaultEvent{{Action: crew.FaultRecover, Node: "engine", At: 1}}}
+	good := crew.Config{Library: lib, Programs: reg}
+	if _, err := crew.NewSystem(good, crew.WithFaults(plan)); !errors.Is(err, crew.ErrInvalidConfig) {
+		t.Errorf("NewSystem(bad fault plan) = %v, want ErrInvalidConfig", err)
 	}
 }
 

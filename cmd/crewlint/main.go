@@ -1,0 +1,59 @@
+// Command crewlint runs the repository's custom go/analysis suite (see
+// internal/lint) over package patterns:
+//
+//	go run ./cmd/crewlint ./...
+//
+// The binary is dual-mode. Invoked with package patterns it re-executes
+// itself through the go vet driver (`go vet -vettool=<self> <patterns>`),
+// which handles package loading, export data, and per-package caching.
+// When go vet then calls the binary back — with -V=full or a unit *.cfg
+// file, the unitchecker protocol — it serves the analyzers directly.
+// Analyzer flags (e.g. -detclock.packages=...) pass through unchanged.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"crew/internal/lint"
+)
+
+func main() {
+	if vetInvocation(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers...)
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crewlint: %v\n", err)
+		os.Exit(1)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	if len(os.Args) == 1 {
+		args = append(args, "./...")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "crewlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetInvocation reports whether the arguments are a callback from the go
+// vet driver rather than a user-facing invocation with package patterns.
+func vetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

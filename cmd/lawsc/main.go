@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"crew/internal/laws"
@@ -56,7 +57,13 @@ func main() {
 			}
 			fmt.Printf("  %s %s %s%s\n", a.From, arrow, a.To, cond)
 		}
-		for step, pol := range s.OnFailure {
+		failSteps := make([]model.StepID, 0, len(s.OnFailure))
+		for step := range s.OnFailure {
+			failSteps = append(failSteps, step)
+		}
+		sort.Slice(failSteps, func(i, j int) bool { return failSteps[i] < failSteps[j] })
+		for _, step := range failSteps {
+			pol := s.OnFailure[step]
 			fmt.Printf("  on failure of %s: rollback to %s (attempts %d)\n", step, pol.RollbackTo, pol.Attempts())
 		}
 		for _, set := range s.CompSets {

@@ -176,6 +176,8 @@ var (
 	ErrTimeout = cerrors.ErrTimeout
 	// ErrClosed reports an operation on a closed System.
 	ErrClosed = cerrors.ErrClosed
+	// ErrInvalidConfig reports a Config or fault plan rejected by Validate.
+	ErrInvalidConfig = cerrors.ErrInvalidConfig
 )
 
 // Value constructors.
@@ -311,21 +313,21 @@ type Config struct {
 // from user input) and get the same errors without side effects.
 func (cfg *Config) Validate() error {
 	if cfg.Library == nil {
-		return fmt.Errorf("crew: Config.Library is required")
+		return fmt.Errorf("crew: %w: Config.Library is required", ErrInvalidConfig)
 	}
 	if cfg.Programs == nil {
-		return fmt.Errorf("crew: Config.Programs is required")
+		return fmt.Errorf("crew: %w: Config.Programs is required", ErrInvalidConfig)
 	}
 	switch cfg.Architecture {
 	case Central, Parallel, Distributed:
 	default:
-		return fmt.Errorf("crew: unknown architecture %v", cfg.Architecture)
+		return fmt.Errorf("crew: %w: unknown architecture %v", ErrInvalidConfig, cfg.Architecture)
 	}
 	if cfg.Engines < 0 {
-		return fmt.Errorf("crew: Config.Engines must not be negative")
+		return fmt.Errorf("crew: %w: Config.Engines must not be negative", ErrInvalidConfig)
 	}
 	if cfg.Architecture == Central && len(cfg.DBs) > 0 {
-		return fmt.Errorf("crew: the central architecture takes Config.DB, not DBs")
+		return fmt.Errorf("crew: %w: the central architecture takes Config.DB, not DBs", ErrInvalidConfig)
 	}
 	return cfg.Library.Validate()
 }
@@ -427,7 +429,7 @@ func NewSystem(cfg Config, opts ...Option) (System, error) {
 	programs := cfg.Programs
 	if o.faults != nil {
 		if err := o.faults.Validate(); err != nil {
-			return nil, fmt.Errorf("crew: fault plan: %v", err)
+			return nil, fmt.Errorf("crew: fault plan: %w: %v", ErrInvalidConfig, err)
 		}
 		programs = faults.WrapFlaky(programs, o.faults.Seed, o.faults.StepFailRate)
 	}
@@ -441,7 +443,7 @@ func NewSystem(cfg Config, opts ...Option) (System, error) {
 	inj, err := faults.NewInjector(*o.faults, cfg.Collector)
 	if err != nil {
 		sys.Close()
-		return nil, fmt.Errorf("crew: fault plan: %v", err)
+		return nil, fmt.Errorf("crew: fault plan: %w: %v", ErrInvalidConfig, err)
 	}
 	inj.SetHooks(sys)
 	inj.Attach(sys.Network())

@@ -1,3 +1,13 @@
 module crew
 
-go 1.22
+go 1.22.0
+
+toolchain go1.24.0
+
+require golang.org/x/tools v0.28.1
+
+// Vendored subset of golang.org/x/tools (go/analysis + unitchecker and their
+// internal dependencies), copied from the Go toolchain's own vendored copy
+// (GOROOT/src/cmd/vendor). The build environment has no network access, so
+// the module is resolved locally; the copy carries the upstream LICENSE.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,6 +1,8 @@
 package central
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -1116,5 +1118,188 @@ func TestRetirementForgetsCoordination(t *testing.T) {
 	sys.Engine.Do(func() { q = tr.OrderQueue("orders") })
 	if len(q) != 0 {
 		t.Fatalf("order queue still holds %v after both instances retired", q)
+	}
+}
+
+// TestInputChangeRollbackChargesInFlightResult pins the fix for the
+// documented ~1.5% Table-4 load flake: when a rollback resets a step whose
+// result is still in flight, onStepResult later drops that stale result
+// without charging its result-processing unit, so total load used to depend
+// on whether the result or the rollback won the race. rollbackTo now charges
+// the dropped unit at reset time under the pre-rollback mechanism. The gates
+// force the losing schedule deterministically: B's result is in flight (its
+// program is parked) when the input change rolls A and B back, and A's
+// re-execution parks too, so after ChangeInputs returns the only Normal-row
+// charge since the snapshot is the recharged unit of B's doomed result.
+func TestInputChangeRollbackChargesInFlightResult(t *testing.T) {
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	gateA := make(chan struct{})
+	gateB := make(chan struct{})
+	var gateBOnce sync.Once
+	reg.Register("pa", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		rec.add("a")
+		if ctx.Attempt > 1 {
+			<-gateA
+		}
+		v, _ := ctx.Inputs["WF.I1"].AsNum()
+		return map[string]expr.Value{"O1": expr.Num(v * 2)}, nil
+	})
+	reg.Register("pb", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		rec.add("b")
+		gateBOnce.Do(func() { <-gateB })
+		return nil, nil
+	})
+	s := model.NewSchema("ICF", "I1").
+		Step("A", "pa", model.WithInputs("WF.I1"), model.WithOutputs("O1")).
+		Step("B", "pb", model.WithInputs("A.O1")).
+		Seq("A", "B").
+		MustBuild()
+	sys := newSystem(t, lib1(s), reg)
+	col := sys.Collector()
+
+	id, err := sys.Start("ICF", map[string]expr.Value{"I1": expr.Num(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(waitTimeout)
+	for rec.count("b") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("B never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Quiescent point: A's result is processed, B is dispatched and parked,
+	// B's result is the one in-flight completion.
+	normalBefore := col.TotalLoad(metrics.Normal)
+
+	if err := sys.ChangeInputs("ICF", id, map[string]expr.Value{"I1": expr.Num(20)}); err != nil {
+		t.Fatal(err)
+	}
+	// ChangeInputs runs synchronously on the engine goroutine: the rollback,
+	// the recharge, and A's re-dispatch (charged to the InputChange row) are
+	// done; A's re-execution is parked on gateA.
+	if d := col.TotalLoad(metrics.Normal) - normalBefore; d != 1 {
+		t.Errorf("Normal-row load delta across the racing rollback = %d, want exactly 1 (the dropped in-flight result's recharged unit)", d)
+	}
+	close(gateA)
+	close(gateB)
+	st, err := sys.Wait("ICF", id, waitTimeout)
+	if err != nil || st != wfdb.Committed {
+		t.Fatalf("wait = (%v, %v)", st, err)
+	}
+	snap, _ := sys.Snapshot("ICF", id)
+	if !snap.Data["A.O1"].Equal(expr.Num(40)) {
+		t.Errorf("A.O1 = %v, want 40 after input change", snap.Data["A.O1"])
+	}
+}
+
+// TestRollbackOrderAppliesInstancesDeterministically pins the fix for a bug
+// crewlint's mapiter analyzer found: applyRollbackOrder iterated the
+// engine's instances map while emitting rollback and re-dispatch traffic,
+// so the order dependent instances were rolled back — and therefore the
+// emitted message sequence — changed from run to run with Go's randomized
+// map order. Six dependent instances on a single agent make the applied
+// order observable through the compensation programs; the engine must visit
+// them in sorted instance-key order (probability of passing by accident
+// with map order: 1/6!).
+func TestRollbackOrderAppliesInstancesDeterministically(t *testing.T) {
+	const n = 6
+	rec := &recorder{}
+	reg := model.NewRegistry()
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	reg.Register("px1", tracked(rec, "x1", nil))
+	reg.Register("px2", model.FailNTimes(1, tracked(rec, "x2", nil)))
+	reg.Register("py1", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		rec.add(fmt.Sprintf("y1:%d", ctx.Instance))
+		return nil, nil
+	})
+	reg.Register("cy1", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		rec.add(fmt.Sprintf("cy1:%d", ctx.Instance))
+		return nil, nil
+	})
+	reg.Register("py2", func(ctx *model.ProgramContext) (map[string]expr.Value, error) {
+		gateOnce.Do(func() { <-gate })
+		return nil, nil
+	})
+	x := model.NewSchema("X").
+		Step("X1", "px1", model.WithAgents("a1")).
+		Step("X2", "px2", model.WithAgents("a1")).
+		Seq("X1", "X2").
+		OnFailure("X2", "X1", 3).
+		MustBuild()
+	y := model.NewSchema("Y").
+		Step("Y1", "py1", model.WithCompensation("cy1"), model.WithReexecCond("true"), model.WithAgents("a1")).
+		Step("Y2", "py2", model.WithAgents("a2")).
+		Seq("Y1", "Y2").
+		MustBuild()
+	lib := lib1(x, y)
+	lib.AddCoord(model.CoordSpec{
+		Kind:    model.RollbackDep,
+		Name:    "dep",
+		Trigger: model.StepRef{Workflow: "X", Step: "X1"},
+		Target:  model.StepRef{Workflow: "Y", Step: "Y1"},
+	})
+	sys := newSystem(t, lib, reg)
+
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := sys.Start("Y", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		done := 0
+		for _, id := range ids {
+			if rec.count(fmt.Sprintf("y1:%d", id)) > 0 {
+				done++
+			}
+		}
+		if done == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d Y1 executions", done, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// X's failure rollback past X1 triggers the dependency on every running
+	// Y instance.
+	idX, err := sys.Start("X", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := sys.Wait("X", idX, waitTimeout); err != nil || st != wfdb.Committed {
+		t.Fatalf("X = (%v, %v)", st, err)
+	}
+	close(gate)
+	for _, id := range ids {
+		if st, err := sys.Wait("Y", id, waitTimeout); err != nil || st != wfdb.Committed {
+			t.Fatalf("Y.%d = (%v, %v)", id, st, err)
+		}
+	}
+
+	var comps []string
+	for _, e := range rec.list() {
+		if strings.HasPrefix(e, "cy1:") {
+			comps = append(comps, e)
+		}
+	}
+	want := make([]string, 0, n)
+	for _, id := range ids {
+		want = append(want, fmt.Sprintf("cy1:%d", id))
+	}
+	if len(comps) != n {
+		t.Fatalf("compensations = %v, want one per instance %v", comps, want)
+	}
+	for i := range want {
+		if comps[i] != want[i] {
+			t.Fatalf("dependent rollback order = %v, want sorted instance order %v", comps, want)
+		}
 	}
 }

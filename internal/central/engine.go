@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 	"sync"
 
@@ -1251,11 +1252,26 @@ func (e *Engine) handleStepFailure(st *instState, step model.StepID) {
 // rollbackTo applies a partial rollback: descendants of origin (and origin)
 // are reset, coordination is informed, dependent workflows roll back too.
 func (e *Engine) rollbackTo(st *instState, origin model.StepID, cause metrics.Mechanism) {
+	prev := st.recovery
 	st.recovery = cause
 	affected, invalidated := nav.ApplyRollback(st.schema, st.ins, st.rules, origin)
 	e.addLoad(cause, int64(len(affected))+1)
 	_ = invalidated
 	all := append(append([]model.StepID(nil), affected...), origin)
+	// A still-dispatched step has a result in flight that the reset below
+	// makes stale: onStepResult will drop it without charging the
+	// result-processing unit. In the common schedule that result arrives
+	// just before the rollback and is charged under the pre-rollback
+	// mechanism, so charge the same unit here — otherwise total load
+	// depends on the race (the documented ~1.5% Table-4 22.94-vs-23.00
+	// flake). Clearing dispatched as we charge keeps duplicates in `all`
+	// from double-charging.
+	for _, id := range all {
+		if st.dispatched[id] {
+			st.dispatched[id] = false
+			e.addLoad(prev, 1)
+		}
+	}
 	e.resetDispatchState(st, all)
 	if e.coordinator != nil {
 		e.coordinator.Rollback(st.ins.Workflow, all)
@@ -1270,7 +1286,15 @@ func (e *Engine) applyRollbackOrder(ord coord.RollbackOrder) {
 		e.orphans = append(e.orphans, func() { e.applyRollbackOrder(ord) })
 		return
 	}
-	for _, st := range e.instances {
+	// Sorted iteration: rollbackTo emits coordination and recovery traffic,
+	// and map order would make the emitted sequence differ run to run.
+	keys := make([]string, 0, len(e.instances))
+	for k := range e.instances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := e.instances[k]
 		if st.ins.Workflow != ord.TargetWorkflow || st.ins.Status != wfdb.Running || st.aborting {
 			continue
 		}
@@ -1604,12 +1628,18 @@ func (e *Engine) injectLocal(target coord.InstanceRef, eventName string) {
 	}
 }
 
-// retryBlocked re-attempts coordination-blocked steps after new events.
+// retryBlocked re-attempts coordination-blocked steps after new events, in
+// step-ID order so the resulting dispatches are deterministic.
 func (e *Engine) retryBlocked(st *instState) {
+	steps := make([]model.StepID, 0, len(st.coordBlocked))
 	for step, blocked := range st.coordBlocked {
 		if blocked {
-			e.maybeExecute(st, step)
+			steps = append(steps, step)
 		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	for _, step := range steps {
+		e.maybeExecute(st, step)
 	}
 }
 

@@ -23,4 +23,7 @@ var (
 	ErrTimeout = errors.New("timed out waiting for instance")
 	// ErrClosed reports an operation on a closed system.
 	ErrClosed = errors.New("system is closed")
+	// ErrInvalidConfig reports a Config or fault plan that fails validation
+	// before any system is built.
+	ErrInvalidConfig = errors.New("invalid configuration")
 )

@@ -1,8 +1,11 @@
 package distributed
 
 import (
+	"sort"
+
 	"crew/internal/coord"
 	"crew/internal/metrics"
+	"crew/internal/model"
 	"crew/internal/nav"
 	"crew/internal/wfdb"
 )
@@ -148,10 +151,17 @@ func (a *Agent) handleAddEvent(p addEvent) {
 	}
 	a.addLoad(metrics.Coordination, 1)
 	if r.rules.AddEvent(r.ins.Events, p.Event) {
+		// Sorted retry order: maybeExecute emits dispatch traffic, and map
+		// order would make the emitted sequence differ run to run.
+		steps := make([]model.StepID, 0, len(r.coordBlocked))
 		for step, blocked := range r.coordBlocked {
 			if blocked {
-				a.maybeExecute(r, step)
+				steps = append(steps, step)
 			}
+		}
+		sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+		for _, step := range steps {
+			a.maybeExecute(r, step)
 		}
 		a.evaluate(r)
 	}

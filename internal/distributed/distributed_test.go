@@ -9,6 +9,7 @@ import (
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
+	"crew/internal/transport"
 	"crew/internal/wfdb"
 )
 
@@ -1277,5 +1278,65 @@ func TestZeroPollWakeupsWhenIdle(t *testing.T) {
 	}
 	if wk1 := wakeups(); wk1 != wk0 {
 		t.Errorf("idle fleet took %d sweep wakeups", wk1-wk0)
+	}
+}
+
+// TestHaltProbeOrderDeterministic guards the sorted iteration in
+// propagateHalts: when a failure rolls a workflow back, the agent that drove
+// several parallel threads must emit its HaltThread probes in step order.
+// Map-order iteration over the instance's step table would shuffle the probe
+// sequence run to run, making protocol traces (and replay comparisons)
+// nondeterministic. A on a1 fans out to B1..B4 (also a1), whose successors
+// C1..C4 live on a2; when F fails, a1's rollback handler probes the C steps
+// and the trace must show them in sorted order every round.
+func TestHaltProbeOrderDeterministic(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		rec := &recorder{}
+		reg := model.NewRegistry()
+		reg.Register("pa", tracked(rec, "a", nil))
+		reg.Register("pb", tracked(rec, "b", nil))
+		reg.Register("pc", tracked(rec, "c", nil))
+		reg.Register("pf", model.FailNTimes(1, tracked(rec, "f", nil)))
+		b := model.NewSchema("HaltOrder", "I1").
+			Step("A", "pa", model.WithAgents("a1")).
+			Step("F", "pf", model.WithAgents("a1"))
+		for _, i := range []string{"1", "2", "3", "4"} {
+			bi, ci := model.StepID("B"+i), model.StepID("C"+i)
+			b = b.Step(bi, "pb", model.WithAgents("a1")).
+				Step(ci, "pc", model.WithAgents("a2")).
+				Arc("A", bi).Arc(bi, ci).Arc(ci, "F")
+		}
+		s := b.OnFailure("F", "A", 3).MustBuild()
+		sys := newSystem(t, lib1(s), reg, "a1", "a2")
+
+		var mu sync.Mutex
+		var probes []string
+		sys.Network().Trace(func(m transport.Message) {
+			ht, ok := m.Payload.(haltThread)
+			if !ok || len(ht.Step) != 2 || ht.Step[0] != 'C' {
+				return
+			}
+			mu.Lock()
+			probes = append(probes, string(ht.Step))
+			mu.Unlock()
+		})
+		runToStatus(t, sys, "HaltOrder", nil, wfdb.Committed)
+		sys.Network().Trace(nil)
+
+		mu.Lock()
+		got := append([]string(nil), probes...)
+		mu.Unlock()
+		// The handler may probe more than once (the initial rollback apply
+		// and a re-propagation at a later epoch); every burst must come out
+		// in step order.
+		want := []string{"C1", "C2", "C3", "C4"}
+		if len(got) == 0 || len(got)%len(want) != 0 {
+			t.Fatalf("round %d: saw %d C-step halt probes, want a multiple of %d: %v", round, len(got), len(want), got)
+		}
+		for i, p := range got {
+			if p != want[i%len(want)] {
+				t.Fatalf("round %d: halt probes out of step order: %v", round, got)
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package distributed
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -887,10 +888,16 @@ func (a *Agent) haltSuccessorsOf(r *replica, step, origin model.StepID, epoch in
 // packets from), the agents of that step's successors are probed.
 func (a *Agent) propagateHalts(r *replica, origin model.StepID, epoch int, initiator string, mech metrics.Mechanism) {
 	desc := r.schema.Descendants(origin)
+	// Sorted iteration: haltSuccessorsOf emits HaltThread probes, and map
+	// order would make the probe sequence differ run to run.
+	ids := make([]model.StepID, 0, len(r.ins.Steps))
 	for id, rec := range r.ins.Steps {
-		if !desc[id] || rec.Agent != a.cfg.Name || rec.Attempts == 0 {
-			continue
+		if desc[id] && rec.Agent == a.cfg.Name && rec.Attempts > 0 {
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		a.haltSuccessorsOf(r, id, origin, epoch, initiator, mech)
 	}
 }

@@ -26,7 +26,7 @@ type SystemConfig struct {
 	// from the library, defaulting to three agents.
 	Agents []string
 	// AGDBs optionally gives each agent a database (len must match Agents).
-	AGDBs              []*wfdb.DB
+	AGDBs            []*wfdb.DB
 	DisableOCR       bool
 	ExplicitElection bool
 	PurgeOnCommit    bool

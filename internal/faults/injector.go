@@ -251,6 +251,7 @@ func (in *Injector) forceRecovery() bool {
 // progress. It exits once every scheduled event has been applied.
 func (in *Injector) watch(ctx context.Context) {
 	defer in.wg.Done()
+	//crew:allow detclock idle-poll pacing of the stall backstop; it fires only while the network is quiescent, so seeded plans and replayed state are unaffected
 	idlePoll := time.NewTimer(time.Hour)
 	if !idlePoll.Stop() {
 		<-idlePoll.C

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// sendEntryPoints are the transport layer's physical-send entry points. A
+// message entering any of them is counted into the metrics collector under
+// its Mechanism class, which is exactly the quantity the paper's Tables 4-6
+// compare — so a call site that does not deliberately set the Mechanism is
+// silently miscounting traffic under Normal.
+var sendEntryPoints = map[methodKey]int{
+	// value is the index of the transport.Message argument; -1 when the
+	// call carries no Message literal at all (envelopes).
+	{pkg: transportPath, recv: "Handle", name: "Send"}:      0,
+	{pkg: transportPath, recv: "Network", name: "Send"}:     0,
+	{pkg: transportPath, recv: "Handle", name: "SendBatch"}: -1,
+	{pkg: transportPath, recv: "Batcher", name: "Add"}:      1,
+}
+
+// ChargedSend enforces the msgs/load accounting invariant statically: every
+// transport Send/SendBatch/Batcher.Add call site outside the transport
+// package itself must either pass a transport.Message whose Mechanism field
+// is set explicitly (directly in a composite literal, or via a local
+// variable whose construction sets it) or carry a //crew:nocharge <reason>
+// annotation. The per-component send() wrappers in central, parallel, and
+// distributed are the intended charging funnels; this analyzer is what
+// keeps new call sites from bypassing them.
+var ChargedSend = &analysis.Analyzer{
+	Name:     "chargedsend",
+	Doc:      "transport sends must set Message.Mechanism explicitly or be annotated //crew:nocharge",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runChargedSend,
+}
+
+func runChargedSend(pass *analysis.Pass) (any, error) {
+	if strings.HasPrefix(pass.Pkg.Path(), transportPath) {
+		// The transport layer is the charging implementation, and its own
+		// tests exercise the raw entry points by definition.
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		k, ok := calleeKey(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		argIdx, hit := sendEntryPoints[k]
+		if !hit {
+			return true
+		}
+		if exempted(pass, call.Pos(), "chargedsend") {
+			return true
+		}
+		if argIdx >= 0 && argIdx < len(call.Args) &&
+			messageCharged(pass, enclosingFuncBody(stack), call.Args[argIdx]) {
+			return true
+		}
+		what := k.recv + "." + k.name
+		if argIdx < 0 {
+			pass.Reportf(call.Pos(), "uncharged transport send: %s bypasses the Batcher that charges each logical message's Mechanism (annotate //crew:nocharge <reason> if deliberate)", what)
+		} else {
+			pass.Reportf(call.Pos(), "uncharged transport send: %s call does not set Message.Mechanism explicitly, so the message is miscounted under Normal (set the field or annotate //crew:nocharge <reason>)", what)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the traversal stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// messageCharged reports whether the Message argument provably sets its
+// Mechanism field: a composite literal with an explicit Mechanism key, or a
+// local variable whose construction (or a later field assignment) within
+// the enclosing function sets it.
+func messageCharged(pass *analysis.Pass, body *ast.BlockStmt, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	if u, ok := arg.(*ast.UnaryExpr); ok { // &transport.Message{...}
+		arg = ast.Unparen(u.X)
+	}
+	if lit, ok := arg.(*ast.CompositeLit); ok {
+		return litSetsMechanism(lit)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok || body == nil {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	charged := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if charged {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				// m := transport.Message{... Mechanism: ...} / m = ...
+				if lid, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(lid) == obj {
+					if lit, ok := ast.Unparen(st.Rhs[i]).(*ast.CompositeLit); ok && litSetsMechanism(lit) {
+						charged = true
+					}
+				}
+				// m.Mechanism = ...
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Mechanism" {
+					if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(base) == obj {
+						charged = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i >= len(st.Values) {
+					break
+				}
+				if pass.TypesInfo.ObjectOf(name) == obj {
+					if lit, ok := ast.Unparen(st.Values[i]).(*ast.CompositeLit); ok && litSetsMechanism(lit) {
+						charged = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return charged
+}
+
+// litSetsMechanism reports whether a composite literal has an explicit
+// Mechanism field key.
+func litSetsMechanism(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Mechanism" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestChargedSend(t *testing.T) {
+	runLintTest(t, ChargedSend, "chargedsend_a")
+}
+
+func TestChargedSendSkipsTransportItself(t *testing.T) {
+	// The transport stub impersonates the real package path, so the
+	// analyzer must not report its raw internal sends.
+	runLintTest(t, ChargedSend, "crew/internal/transport")
+}

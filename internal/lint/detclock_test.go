@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDetClock(t *testing.T) {
+	runLintTest(t, DetClock, "crew/internal/model")
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"flag"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// errWrapFlags lets a driver widen the API surface under check, mainly so
+// the analyzer tests can point it at a testdata package:
+// -errwrap.packages=pkg1,pkg2 adds to the default root package.
+var errWrapFlags flag.FlagSet
+var errWrapExtraPackages = errWrapFlags.String("packages", "", "comma-separated extra package paths treated as API surface")
+
+// ErrWrap enforces the typed-error contract of the public API: exported
+// functions and methods of the root crew package that return an error must
+// not manufacture naked errors. Callers are promised errors.Is matching
+// against the internal/cerrors sentinels (ErrUnknownWorkflow, ErrTimeout,
+// ErrClosed, ...), so a `return errors.New(...)` or a fmt.Errorf whose
+// format string has no %w verb silently breaks every errors.Is site. The
+// analyzer flags such returns; the fix is to wrap a sentinel
+// (`fmt.Errorf("%w: detail", cerrors.ErrX)`) or add one.
+var ErrWrap = &analysis.Analyzer{
+	Name:     "errwrap",
+	Doc:      "exported API functions must return errors wrapping a cerrors sentinel, not naked errors",
+	Flags:    errWrapFlags,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) (any, error) {
+	if !errWrapAPIPackage(pass) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || inTestFile(pass, fd.Pos()) {
+			return
+		}
+		if !errWrapExportedAPI(fd) {
+			return
+		}
+		if !funcReturnsError(pass, fd) {
+			return
+		}
+		checkErrWrapBody(pass, fd.Body)
+	})
+	return nil, nil
+}
+
+// errWrapAPIPackage reports whether the pass's package is part of the
+// checked API surface: the root module package ("crew") or one added via
+// -errwrap.packages.
+func errWrapAPIPackage(pass *analysis.Pass) bool {
+	if pass.Pkg.Path() == "crew" {
+		return true
+	}
+	for _, p := range strings.Split(*errWrapExtraPackages, ",") {
+		if p != "" && p == pass.Pkg.Path() {
+			return true
+		}
+	}
+	return false
+}
+
+// errWrapExportedAPI reports whether fd is part of the exported API:
+// an exported function, or an exported method on an exported receiver type.
+func errWrapExportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// funcReturnsError reports whether fd's signature has an error result.
+func funcReturnsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj := pass.TypesInfo.ObjectOf(fd.Name)
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrWrapBody flags return statements (and error-typed assignments
+// feeding them is out of scope — the check is syntactic on returns) whose
+// expressions construct a naked error.
+func checkErrWrapBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are not the API return path per se
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			k, ok := calleeKey(pass.TypesInfo, call)
+			if !ok || k.recv != "" {
+				continue
+			}
+			switch {
+			case k.pkg == "errors" && k.name == "New":
+				if !exempted(pass, call.Pos(), "errwrap") {
+					pass.Reportf(call.Pos(), "naked errors.New on exported API path: callers cannot errors.Is-match this (wrap a cerrors sentinel with fmt.Errorf(\"%%w: ...\", cerrors.ErrX) or annotate //crew:allow errwrap <reason>)")
+				}
+			case k.pkg == "fmt" && k.name == "Errorf":
+				if len(call.Args) == 0 {
+					continue
+				}
+				format, known := constStringValue(pass, call.Args[0])
+				if known && !strings.Contains(format, "%w") && !exempted(pass, call.Pos(), "errwrap") {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w on exported API path: callers cannot errors.Is-match this (wrap a cerrors sentinel or annotate //crew:allow errwrap <reason>)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// constStringValue evaluates e as a compile-time string constant.
+func constStringValue(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

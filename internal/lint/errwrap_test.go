@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestErrWrap(t *testing.T) {
+	runLintTest(t, ErrWrap, "crew")
+}
+
+func TestErrWrapIgnoresNonAPIPackages(t *testing.T) {
+	// A package outside the API surface may return errors however it
+	// likes: the store stub returns plain nils and carries no want
+	// comments, so the test asserts zero diagnostics.
+	runLintTest(t, ErrWrap, "crew/internal/store")
+}

@@ -1,0 +1,178 @@
+// Package lint implements crewlint, a go/analysis suite that mechanically
+// enforces the repository's concurrency, determinism, and accounting
+// invariants. Each analyzer maps to a documented DESIGN.md invariant (see
+// the "Statically enforced invariants" section there):
+//
+//   - detclock: no wall-clock reads or unseeded math/rand in deterministic
+//     packages (model, rules, analysis, itable, faults).
+//   - chargedsend: every transport Send/SendBatch/Batcher.Add call site
+//     must set the Message's Mechanism explicitly (the static guard for the
+//     byte-identical Tables 4-6 msgs/load accounting) or carry a
+//     //crew:nocharge annotation.
+//   - locksend: no channel operation or known-blocking call while a mutex
+//     is held in the same function body (deadlock prevention for the
+//     itable/store shard locks and the engine command queues).
+//   - errwrap: exported functions of the root crew package must not return
+//     naked errors.New / fmt.Errorf-without-%w errors; API errors wrap an
+//     internal/cerrors sentinel.
+//   - mapiter: no range over a map whose body (transitively, within the
+//     package) emits messages, posts events, or writes the WAL — map
+//     iteration order is nondeterministic and breaks replay and benchdiff
+//     comparisons; iterate a sorted copy instead.
+//
+// False positives are silenced in place with an annotation comment on the
+// offending line or the line directly above it:
+//
+//	//crew:nocharge <reason>          (chargedsend only)
+//	//crew:allow <analyzer> <reason>  (any analyzer)
+//
+// The annotation must carry a non-empty reason; a bare annotation is itself
+// reported. The suite runs as a go vet tool: `go run ./cmd/crewlint ./...`.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Analyzers is the full crewlint suite in stable presentation order.
+var Analyzers = []*analysis.Analyzer{
+	DetClock,
+	ChargedSend,
+	LockSend,
+	ErrWrap,
+	MapIter,
+}
+
+// transportPath is the import path of the simulated messaging layer whose
+// send entry points chargedsend and mapiter guard.
+const transportPath = "crew/internal/transport"
+
+// methodKey names a function or method by package path, receiver type name
+// (empty for package-level functions), and name.
+type methodKey struct {
+	pkg  string
+	recv string
+	name string
+}
+
+// typeutilStaticCallee resolves a call to its statically known *types.Func,
+// or nil for dynamic calls and builtins.
+func typeutilStaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return typeutil.StaticCallee(info, call)
+}
+
+// calleeKey resolves a call expression to the methodKey of its static
+// callee, or ok=false for dynamic calls (interface methods, function
+// values) and builtins.
+func calleeKey(info *types.Info, call *ast.CallExpr) (methodKey, bool) {
+	fn := typeutil.StaticCallee(info, call)
+	if fn == nil {
+		return methodKey{}, false
+	}
+	k := methodKey{name: fn.Name()}
+	if fn.Pkg() != nil {
+		k.pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			k.recv = n.Obj().Name()
+			if n.Obj().Pkg() != nil {
+				k.pkg = n.Obj().Pkg().Path()
+			}
+		}
+	}
+	return k, true
+}
+
+// fileFor returns the *ast.File of the pass containing pos.
+func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// exempted reports whether the line containing pos, or the line directly
+// above it, carries an annotation silencing the named analyzer:
+//
+//	//crew:nocharge <reason>            (analyzer "chargedsend")
+//	//crew:allow <analyzer> <reason>
+//
+// An annotation without a reason does not exempt anything; instead it is
+// reported so stale or lazy annotations cannot accumulate.
+func exempted(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	f := fileFor(pass, pos)
+	if f == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cl := pass.Fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			var reason string
+			switch {
+			case strings.HasPrefix(text, "crew:nocharge"):
+				if analyzer != "chargedsend" {
+					continue
+				}
+				reason = strings.TrimSpace(strings.TrimPrefix(text, "crew:nocharge"))
+			case strings.HasPrefix(text, "crew:allow"):
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "crew:allow"))
+				name, r, _ := strings.Cut(rest, " ")
+				if name != analyzer {
+					continue
+				}
+				reason = strings.TrimSpace(r)
+			default:
+				continue
+			}
+			if reason == "" {
+				pass.Reportf(pos, "crew annotation needs a reason: %s", text)
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos is inside a _test.go file.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// namedOrPointerTo unwraps pointers and returns the named type, if any.
+func namedOrPointerTo(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type pkg.name.
+func isNamedType(t types.Type, pkg, name string) bool {
+	n := namedOrPointerTo(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}

@@ -1,0 +1,200 @@
+package lint
+
+// This file is an offline stand-in for golang.org/x/tools/go/analysis/
+// analysistest, which is not part of the toolchain's vendored x/tools
+// subset (see third_party/). It loads a package from testdata/src by
+// import path, type-checks it against stub dependencies in the same tree
+// (falling back to the source importer for the standard library), runs one
+// analyzer, and compares the diagnostics against `// want "substr"`
+// comments: every diagnostic must be matched by a want comment on its
+// line, and every want comment must be matched by a diagnostic. A want
+// comment may carry several quoted substrings when one line produces
+// several diagnostics. Matching is substring, not regexp.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// tdImporter resolves import paths from testdata/src first (so stub
+// packages can impersonate real module paths like crew/internal/transport)
+// and the standard library from source second.
+type tdImporter struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.Importer
+	pkgs   map[string]*tdPackage
+}
+
+type tdPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+var (
+	tdOnce sync.Once
+	tdImp  *tdImporter
+)
+
+func testdataImporter(t *testing.T) *tdImporter {
+	tdOnce.Do(func() {
+		fset := token.NewFileSet()
+		tdImp = &tdImporter{
+			fset:   fset,
+			srcDir: filepath.Join("testdata", "src"),
+			std:    importer.ForCompiler(fset, "source", nil),
+			pkgs:   map[string]*tdPackage{},
+		}
+	})
+	return tdImp
+}
+
+func (im *tdImporter) Import(path string) (*types.Package, error) {
+	p := im.load(path)
+	return p.pkg, p.err
+}
+
+func (im *tdImporter) load(path string) *tdPackage {
+	if p, ok := im.pkgs[path]; ok {
+		return p
+	}
+	p := &tdPackage{}
+	im.pkgs[path] = p // before type-checking: breaks import cycles into errors
+	dir := filepath.Join(im.srcDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		p.pkg, p.err = im.std.Import(path)
+		return p
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", dir)
+		return p
+	}
+	p.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: im}
+	p.pkg, p.err = conf.Check(path, im.fset, p.files, p.info)
+	return p
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"[^"]*")+)`)
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+// runLintTest loads testdata/src/<pkgPath>, runs the analyzer, and checks
+// diagnostics against want comments.
+func runLintTest(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	im := testdataImporter(t)
+	p := im.load(pkgPath)
+	if p.err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, p.err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       im.fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]any{
+			inspect.Analyzer: inspector.New(p.files),
+		},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile: os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]string{}
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := im.fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					wants[k] = append(wants[k], arg[1])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := im.fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	var missed []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockSend reports channel operations and known-blocking calls performed
+// while a sync.Mutex/RWMutex is held in the same function body. The
+// itable/store shard locks and the engine/agent command-queue locks are
+// leaf locks on hot paths: anything that can park the goroutine while one
+// is held (a channel send to a full/unbuffered channel, a receive, a
+// select without default, Quiesce/AwaitStall/WaitGroup.Wait, time.Sleep)
+// turns a bounded critical section into a potential deadlock — the pump
+// that would drain the channel may itself need the lock.
+//
+// The analysis is lexical and per-function: a Lock() opens a held region
+// that closes at the next positional Unlock() of the same mutex expression
+// (or at the end of the function for a deferred or missing Unlock).
+// Cross-function lock holding is not modeled. Silence deliberate cases
+// with //crew:allow locksend <reason>.
+var LockSend = &analysis.Analyzer{
+	Name:     "locksend",
+	Doc:      "forbid channel ops and blocking calls while a mutex is held in the same function",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockSend,
+}
+
+// lockBlockingCalls are calls that can park the goroutine indefinitely.
+var lockBlockingCalls = map[methodKey]bool{
+	{pkg: "sync", recv: "WaitGroup", name: "Wait"}:                true,
+	{pkg: "time", name: "Sleep"}:                                  true,
+	{pkg: transportPath, recv: "Network", name: "Quiesce"}:        true,
+	{pkg: transportPath, recv: "Network", name: "AwaitStall"}:     true,
+	{pkg: "crew/internal/central", recv: "Engine", name: "Do"}:    true,
+	{pkg: "crew/internal/distributed", recv: "Agent", name: "Do"}: true,
+}
+
+// lockEvent is one Lock/Unlock call inside a function.
+type lockEvent struct {
+	key      string // canonical mutex expression, e.g. "s.mu"
+	read     bool   // RLock/RUnlock pairing
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// blockEvent is one potentially blocking operation inside a function.
+type blockEvent struct {
+	pos  token.Pos
+	what string
+}
+
+func runLockSend(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil {
+			checkLockRegions(pass, body)
+		}
+	})
+	return nil, nil
+}
+
+func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
+	var locks []lockEvent
+	var blocks []blockEvent
+
+	// nonBlocking collects the source ranges of comm clauses of selects
+	// WITH a default clause: channel ops there never block.
+	type posRange struct{ from, to token.Pos }
+	var nonBlocking []posRange
+	inNonBlockingComm := func(pos token.Pos) bool {
+		for _, r := range nonBlocking {
+			if pos >= r.from && pos < r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions get their own region check
+		case *ast.DeferStmt:
+			if ev, ok := lockEventOf(pass, st.Call); ok && ev.unlock {
+				ev.deferred = true
+				locks = append(locks, ev)
+			}
+			return false // a deferred call runs at exit, not here
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			// Comm-clause ops are covered by the select itself: with a
+			// default they never block, without one the select is reported
+			// as a single event rather than once per clause.
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlocking = append(nonBlocking, posRange{cc.Comm.Pos(), cc.Comm.End()})
+				}
+			}
+			if !hasDefault {
+				blocks = append(blocks, blockEvent{st.Pos(), "select without default"})
+			}
+		case *ast.SendStmt:
+			if !inNonBlockingComm(st.Pos()) {
+				blocks = append(blocks, blockEvent{st.Pos(), "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW && !inNonBlockingComm(st.Pos()) {
+				blocks = append(blocks, blockEvent{st.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(st.X).Underlying().(*types.Chan); ok {
+				blocks = append(blocks, blockEvent{st.Pos(), "range over channel"})
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockEventOf(pass, st); ok {
+				locks = append(locks, ev)
+				return true
+			}
+			if k, ok := calleeKey(pass.TypesInfo, st); ok && lockBlockingCalls[k] {
+				what := k.name
+				if k.recv != "" {
+					what = k.recv + "." + what
+				}
+				blocks = append(blocks, blockEvent{st.Pos(), what})
+			}
+		}
+		return true
+	})
+	if len(locks) == 0 || len(blocks) == 0 {
+		return
+	}
+
+	sort.Slice(locks, func(i, j int) bool { return locks[i].pos < locks[j].pos })
+	type interval struct {
+		key      string
+		from, to token.Pos
+	}
+	var held []interval
+	for i, ev := range locks {
+		if ev.unlock {
+			continue
+		}
+		end := body.End()
+		for j := i + 1; j < len(locks); j++ {
+			u := locks[j]
+			if u.unlock && !u.deferred && u.key == ev.key && u.read == ev.read {
+				end = u.pos
+				break
+			}
+		}
+		held = append(held, interval{ev.key, ev.pos, end})
+	}
+	for _, b := range blocks {
+		for _, iv := range held {
+			if b.pos > iv.from && b.pos < iv.to {
+				if !exempted(pass, b.pos, "locksend") {
+					pass.Reportf(b.pos, "%s while %s is locked: the goroutine that would unblock it may need the same lock (move the operation after Unlock or annotate //crew:allow locksend <reason>)", b.what, iv.key)
+				}
+				break
+			}
+		}
+	}
+}
+
+// lockEventOf classifies a call as a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the canonical receiver expression.
+func lockEventOf(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	name := sel.Sel.Name
+	var unlock, read bool
+	switch name {
+	case "Lock":
+	case "RLock":
+		read = true
+	case "Unlock":
+		unlock = true
+	case "RUnlock":
+		unlock, read = true, true
+	default:
+		return lockEvent{}, false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return lockEvent{}, false
+	}
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return lockEvent{}, false
+	}
+	return lockEvent{key: types.ExprString(sel.X), read: read, pos: call.Pos(), unlock: unlock}, true
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockSend(t *testing.T) {
+	runLintTest(t, LockSend, "locksend_a")
+}

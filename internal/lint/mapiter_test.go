@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMapIter(t *testing.T) {
+	runLintTest(t, MapIter, "mapiter_a")
+}

@@ -1,0 +1,40 @@
+// Package chargedsend_a seeds chargedsend violations against the stub
+// transport package.
+package chargedsend_a
+
+import "crew/internal/transport"
+
+const mechCoordination = 3
+
+func direct(h *transport.Handle) {
+	h.Send(transport.Message{To: 1, Mechanism: mechCoordination}) // ok: literal sets Mechanism
+	h.Send(transport.Message{To: 1})                              // want "uncharged transport send: Handle.Send"
+}
+
+func viaVar(h *transport.Handle) {
+	m := transport.Message{To: 2}
+	m.Mechanism = mechCoordination
+	h.Send(m) // ok: field assigned in this function
+}
+
+func viaVarLiteral(h *transport.Handle) {
+	m := transport.Message{To: 2, Mechanism: mechCoordination}
+	h.Send(m) // ok: construction sets Mechanism
+}
+
+func viaVarBad(h *transport.Handle) {
+	m := transport.Message{To: 2, Kind: "step"}
+	h.Send(m) // want "uncharged transport send: Handle.Send"
+}
+
+func batch(h *transport.Handle) {
+	h.SendBatch(4) // want "uncharged transport send: Handle.SendBatch"
+	//crew:nocharge fixture drains a pre-charged queue
+	h.SendBatch(4) // ok: annotated
+}
+
+func batcher(b *transport.Batcher, net *transport.Network) {
+	b.Add(1, transport.Message{Mechanism: mechCoordination}) // ok
+	b.Add(1, transport.Message{Kind: "x"})                   // want "uncharged transport send: Batcher.Add"
+	net.Send(transport.Message{Kind: "x"})                   // want "uncharged transport send: Network.Send"
+}

@@ -1,0 +1,41 @@
+// Package crew seeds errwrap violations: it impersonates the module root
+// package, whose exported API must return sentinel-wrapping errors.
+package crew
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("crew: system closed") // ok: sentinel declaration is not a return
+
+type System struct{}
+
+func (s *System) Wait(id string) error {
+	if id == "" {
+		return errors.New("empty instance id") // want "naked errors.New on exported API path"
+	}
+	return fmt.Errorf("%w: instance %s", ErrClosed, id) // ok: wraps a sentinel
+}
+
+func Validate(shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("bad shard count %d", shards) // want "fmt.Errorf without %w on exported API path"
+	}
+	return nil
+}
+
+func Allowed() error {
+	//crew:allow errwrap adapter boundary, callers match on strings by contract
+	return errors.New("legacy text error")
+}
+
+func helper() error {
+	return errors.New("internal detail") // ok: unexported function
+}
+
+type config struct{}
+
+func (config) Check() error {
+	return errors.New("not API surface") // ok: unexported receiver type
+}

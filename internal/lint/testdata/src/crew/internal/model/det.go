@@ -1,0 +1,44 @@
+// Package model seeds detclock violations: the real crew/internal/model is
+// in the analyzer's default deterministic set, and this stub borrows its
+// import path.
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want "wall clock in deterministic package: time.Now"
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "wall clock in deterministic package: time.Since"
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want "wall clock in deterministic package: time.Sleep"
+}
+
+func Jitter() int {
+	return rand.Intn(8) // want "unseeded randomness in deterministic package"
+}
+
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit seeded source
+	return r.Intn(8)
+}
+
+func Format(d time.Duration) string {
+	return d.String() // ok: duration arithmetic and formatting stay legal
+}
+
+func Allowed() time.Time {
+	//crew:allow detclock startup banner timestamp, not part of replayed state
+	return time.Now()
+}
+
+func Bare() time.Time {
+	//crew:allow detclock
+	return time.Now() // want "crew annotation needs a reason" "wall clock in deterministic package"
+}

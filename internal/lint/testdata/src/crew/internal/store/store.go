@@ -1,0 +1,9 @@
+// Package store is a minimal stub of crew/internal/store for the analyzer
+// tests: method names match the real WAL-backed store.
+package store
+
+type Store struct{}
+
+func (s *Store) Put(key string, val []byte) error { return nil }
+func (s *Store) PutJSON(key string, v any) error  { return nil }
+func (s *Store) Delete(key string) error          { return nil }

@@ -1,0 +1,25 @@
+// Package transport is a minimal stub of crew/internal/transport for the
+// analyzer tests: the method sets and the Mechanism field name must match
+// the real package, the behavior is irrelevant.
+package transport
+
+type Message struct {
+	To, From  int
+	Kind      string
+	Mechanism int
+}
+
+type Handle struct{}
+
+func (h *Handle) Send(m Message)  {}
+func (h *Handle) SendBatch(n int) {}
+
+type Network struct{}
+
+func (n *Network) Send(m Message) {}
+func (n *Network) Quiesce()       {}
+func (n *Network) AwaitStall()    {}
+
+type Batcher struct{}
+
+func (b *Batcher) Add(to int, m Message) {}
