@@ -170,6 +170,7 @@ func cmdTable(arch analysis.Architecture, title string, args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	p := experimentParams()
 	instances, seed := paramFlags(fs, &p)
+	backend := fs.String("backend", "inproc", "wire backend: inproc|unix|tcp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,6 +180,7 @@ func cmdTable(arch analysis.Architecture, title string, args []string) error {
 		Instances: *instances,
 		Seed:      *seed,
 		Timeout:   5 * time.Minute,
+		Backend:   *backend,
 	})
 	if err != nil {
 		return err
@@ -191,6 +193,7 @@ func cmdTable7(args []string) error {
 	fs := flag.NewFlagSet("table7", flag.ExitOnError)
 	p := experimentParams()
 	instances, seed := paramFlags(fs, &p)
+	backend := fs.String("backend", "inproc", "wire backend: inproc|unix|tcp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,7 +209,7 @@ func cmdTable7(args []string) error {
 			defer wg.Done()
 			m, err := experiment.Run(experiment.Options{
 				Arch: arch, Params: p, Instances: *instances, Seed: *seed,
-				Timeout: 5 * time.Minute,
+				Timeout: 5 * time.Minute, Backend: *backend,
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("%v: %w", arch, err)
@@ -310,6 +313,7 @@ func cmdChaos(args []string) error {
 	crashList := fs.String("crashes", "1,2,4", "comma-separated crash counts to sweep")
 	sfr := fs.Float64("sfr", 0, "injected transient step-failure rate")
 	drop := fs.Int("drop", 0, "drop every k-th message (0 disables)")
+	backend := fs.String("backend", "inproc", "wire backend: inproc|unix|tcp")
 	smoke := fs.Bool("smoke", false, "quick single-point run per architecture")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -345,6 +349,7 @@ func cmdChaos(args []string) error {
 				Crashes:      crashes,
 				StepFailRate: *sfr,
 				DropEvery:    *drop,
+				Backend:      *backend,
 			})
 			if err != nil {
 				return fmt.Errorf("%v crashes=%d: %w", arch, crashes, err)

@@ -278,6 +278,34 @@ func (a Architecture) String() string {
 	}
 }
 
+// TransportConfig selects the wire backend that carries messages between the
+// deployment's nodes. The zero value is the in-process backend: direct
+// channel handoff, no serialization, the default and fastest path. The socket
+// backends route every message through a real kernel socket as a
+// length-prefixed binary frame — same delivery semantics (FIFO, park/replay
+// on crash, identical message counts), genuine serialization cost.
+type TransportConfig struct {
+	// Backend is "" or "inproc" (in-process channels), "unix" (unix-domain
+	// sockets) or "tcp" (loopback TCP).
+	Backend string
+	// Addr optionally pins the socket address: a socket path for "unix", a
+	// host:port for "tcp". Empty picks a fresh temp path or loopback port.
+	// Must be empty for the in-process backend.
+	Addr string
+}
+
+// newWire builds the transport backend a TransportConfig selects.
+func (tc TransportConfig) newWire() (transport.Wire, error) {
+	switch tc.Backend {
+	case "", "inproc":
+		return nil, nil
+	case "unix", "tcp":
+		return transport.NewSocketWire(tc.Backend, tc.Addr)
+	default:
+		return nil, fmt.Errorf("crew: %w: unknown transport backend %q (want inproc, unix or tcp)", ErrInvalidConfig, tc.Backend)
+	}
+}
+
 // Config assembles a deployment.
 type Config struct {
 	// Library holds the workflow definitions; required.
@@ -304,6 +332,9 @@ type Config struct {
 	// agent) architecture its own database. Length must match the node
 	// count. Ignored by the central architecture.
 	DBs []*DB
+	// Transport selects the wire backend between nodes; the zero value is
+	// the in-process default.
+	Transport TransportConfig
 	// Logf receives diagnostics; defaults to the standard logger.
 	Logf func(format string, args ...any)
 }
@@ -328,6 +359,15 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.Architecture == Central && len(cfg.DBs) > 0 {
 		return fmt.Errorf("crew: %w: the central architecture takes Config.DB, not DBs", ErrInvalidConfig)
+	}
+	switch cfg.Transport.Backend {
+	case "", "inproc":
+		if cfg.Transport.Addr != "" {
+			return fmt.Errorf("crew: %w: Transport.Addr is meaningless for the in-process backend", ErrInvalidConfig)
+		}
+	case "unix", "tcp":
+	default:
+		return fmt.Errorf("crew: %w: unknown transport backend %q (want inproc, unix or tcp)", ErrInvalidConfig, cfg.Transport.Backend)
 	}
 	return cfg.Library.Validate()
 }
@@ -451,6 +491,10 @@ func NewSystem(cfg Config, opts ...Option) (System, error) {
 }
 
 func newArchSystem(cfg Config, programs *Registry) (faultable, error) {
+	wire, err := cfg.Transport.newWire()
+	if err != nil {
+		return nil, err
+	}
 	switch cfg.Architecture {
 	case Central:
 		return central.NewSystem(central.SystemConfig{
@@ -460,6 +504,7 @@ func newArchSystem(cfg Config, programs *Registry) (faultable, error) {
 			DB:         cfg.DB,
 			Agents:     cfg.Agents,
 			DisableOCR: cfg.DisableOCR,
+			Wire:       wire,
 			Logf:       cfg.Logf,
 		})
 	case Parallel:
@@ -475,6 +520,7 @@ func newArchSystem(cfg Config, programs *Registry) (faultable, error) {
 			Agents:     cfg.Agents,
 			DBs:        cfg.DBs,
 			DisableOCR: cfg.DisableOCR,
+			Wire:       wire,
 			Logf:       cfg.Logf,
 		})
 	case Distributed:
@@ -486,6 +532,7 @@ func newArchSystem(cfg Config, programs *Registry) (faultable, error) {
 			AGDBs:         cfg.DBs,
 			DisableOCR:    cfg.DisableOCR,
 			PurgeOnCommit: cfg.PurgeOnCommit,
+			Wire:          wire,
 			Logf:          cfg.Logf,
 		})
 	default:

@@ -15,7 +15,14 @@ import (
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
+	"crew/internal/transport"
 )
+
+func init() {
+	// Register every payload this architecture puts on the transport, so wire
+	// backends (unix/tcp sockets) can carry them across a process boundary.
+	transport.RegisterPayload(ExecRequest{}, ExecResponse{}, StateRequest{}, StateResponse{})
+}
 
 // ExecRequest asks an agent to run a step program (or its compensation).
 type ExecRequest struct {

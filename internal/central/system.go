@@ -30,7 +30,9 @@ type SystemConfig struct {
 	EngineName string
 	// DisableOCR forces Saga-style recovery (ablation).
 	DisableOCR bool
-	Logf       func(format string, args ...any)
+	// Wire selects the transport backend (nil = in-process channels).
+	Wire transport.Wire
+	Logf func(format string, args ...any)
 }
 
 // System is a running centralized WFMS.
@@ -67,7 +69,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		agents = []string{"agent1", "agent2"}
 	}
 
-	net := transport.New(cfg.Collector)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: cfg.Collector, Wire: cfg.Wire})
 	eng, err := NewEngine(Config{
 		Name:       cfg.EngineName,
 		Library:    cfg.Library,

@@ -1,0 +1,76 @@
+package cerrors
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestEMatchesClassAndCause(t *testing.T) {
+	cause := io.ErrUnexpectedEOF
+	err := E(CodeFrameTruncated, PhaseDecode, ErrWire, cause, "node %q", "a1")
+	if !errors.Is(err, ErrWire) {
+		t.Fatalf("errors.Is(err, ErrWire) = false, want true")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("errors.Is(err, cause) = false, want true")
+	}
+	if got := CodeOf(err); got != CodeFrameTruncated {
+		t.Fatalf("CodeOf = %q, want %q", got, CodeFrameTruncated)
+	}
+	if got := PhaseOf(err); got != PhaseDecode {
+		t.Fatalf("PhaseOf = %q, want %q", got, PhaseDecode)
+	}
+	msg := err.Error()
+	for _, want := range []string{"wire_frame_truncated", "decode", `node "a1"`, "unexpected EOF"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestCodeOfSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("outer: %w", E(CodeDialRefused, PhaseDial, ErrWire, nil, "tcp 127.0.0.1:9"))
+	if got := CodeOf(err); got != CodeDialRefused {
+		t.Fatalf("CodeOf(wrapped) = %q, want %q", got, CodeDialRefused)
+	}
+	if got := PhaseOf(err); got != PhaseDial {
+		t.Fatalf("PhaseOf(wrapped) = %q, want %q", got, PhaseDial)
+	}
+	if !errors.Is(err, ErrWire) {
+		t.Fatalf("errors.Is(wrapped, ErrWire) = false, want true")
+	}
+}
+
+func TestCodeOfPlainSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Code
+	}{
+		{nil, CodeUnknown},
+		{errors.New("misc"), CodeUnknown},
+		{ErrUnknownWorkflow, CodeUnknownWorkflow},
+		{ErrUnknownInstance, CodeUnknownInstance},
+		{ErrNotRunning, CodeNotRunning},
+		{ErrTimeout, CodeTimeout},
+		{ErrClosed, CodeClosed},
+		{ErrInvalidConfig, CodeInvalidConfig},
+		{fmt.Errorf("ctx: %w", ErrTimeout), CodeTimeout},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.err); got != c.want {
+			t.Errorf("CodeOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestPhaseOfUnclassified(t *testing.T) {
+	if got := PhaseOf(ErrTimeout); got != PhaseNone {
+		t.Fatalf("PhaseOf(sentinel) = %q, want PhaseNone", got)
+	}
+	if got := PhaseOf(nil); got != PhaseNone {
+		t.Fatalf("PhaseOf(nil) = %q, want PhaseNone", got)
+	}
+}

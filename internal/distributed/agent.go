@@ -44,6 +44,12 @@ type Config struct {
 	// PurgeOnCommit makes coordination agents broadcast purge notes when an
 	// instance finishes (paper: periodic broadcast; immediate here).
 	PurgeOnCommit bool
+	// Alive overrides the liveness oracle used by agent elections and status
+	// polling; nil uses the transport's view. Multi-process children need the
+	// override: their local network registers every peer as an always-up
+	// forwarding proxy, so only the hub's crash/recover announcements know
+	// which agents are really down.
+	Alive func(name string) bool
 	// Terminal optionally shares a terminal-status registry across the
 	// deployment. The coordination agent publishes every commit/abort into
 	// it; completion waiters subscribe to it, and the other agents retire
@@ -383,6 +389,15 @@ func (a *Agent) send(to string, mech metrics.Mechanism, kind string, payload any
 	})
 }
 
+// alive answers liveness queries for elections and polls: the Config.Alive
+// override when installed, else the transport's view.
+func (a *Agent) alive(name string) bool {
+	if a.cfg.Alive != nil {
+		return a.cfg.Alive(name)
+	}
+	return a.net.Alive(name)
+}
+
 // effectiveAgents returns the agents eligible to execute a step.
 func (a *Agent) effectiveAgents(s *model.Step) []string {
 	if len(s.EligibleAgents) > 0 {
@@ -397,7 +412,7 @@ func (a *Agent) executorOf(r *replica, step model.StepID) string {
 	if s == nil {
 		return ""
 	}
-	return nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, step, a.net.Alive)
+	return nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, step, a.alive)
 }
 
 // errRetired marks a message addressed to an instance that already reached a
@@ -423,6 +438,15 @@ func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
 		return nil, fmt.Errorf("distributed: unknown workflow class %q", workflow)
 	}
 	ins := wfdb.NewInstance(workflow, id, nil)
+	r := a.newReplica(schema, ins)
+	a.replicas[key] = r
+	return r, nil
+}
+
+// newReplica builds a replica around an instance (fresh or reloaded from the
+// AGDB), installing the execution rules for every step this agent is eligible
+// for and binding them to the instance's event table.
+func (a *Agent) newReplica(schema *model.Schema, ins *wfdb.Instance) *replica {
 	ins.AttachSchema(schema)
 	r := &replica{
 		ins:          ins,
@@ -450,8 +474,80 @@ func (a *Agent) getReplica(workflow string, id int) (*replica, error) {
 		}
 	}
 	r.rules.Bind(r.ins.Events)
-	a.replicas[key] = r
-	return r, nil
+	return r
+}
+
+// RecoverReplicas rebuilds the agent's live replicas from its AGDB after a
+// process restart: the real crash-recovery path of a multi-process
+// deployment, where a killed agent loses every in-memory table and owns
+// nothing but its database. Terminal summaries are replayed into the local
+// terminal registry (and re-announced to notify, when non-empty, so a front
+// end across the wire cannot miss a completion that raced the crash); each
+// live instance record becomes a replica again, restoring the persisted
+// rollback epoch and coordination election, and is re-evaluated so rules
+// whose effects died with the process fire again. Messages the hub never saw
+// acknowledged are replayed on reconnect, which is where the remaining
+// in-flight state comes from.
+func (a *Agent) RecoverReplicas(notify string) error {
+	if a.cfg.AGDB == nil {
+		return nil
+	}
+	var firstErr error
+	a.Do(func() {
+		db := a.cfg.AGDB
+		for _, key := range db.SummaryKeys() {
+			wf, id, err := wfdb.ParseInstanceKey(key)
+			if err != nil {
+				continue
+			}
+			st, ok, err := db.LoadSummary(wf, id)
+			if err != nil || !ok || st == wfdb.Running {
+				continue
+			}
+			a.term.Complete(wf, id, st)
+			if notify != "" {
+				a.send(notify, metrics.Failure, KindWorkflowDone,
+					WorkflowDone{Workflow: wf, Instance: id, Status: st})
+			}
+		}
+		for _, key := range db.InstanceKeys() {
+			wf, id, err := wfdb.ParseInstanceKey(key)
+			if err != nil {
+				continue
+			}
+			if _, ok := a.replicas[key]; ok {
+				continue
+			}
+			if st, ok := a.term.Status(wf, id); ok && st != wfdb.Running {
+				continue
+			}
+			ins, ok, err := db.LoadInstance(wf, id)
+			if err != nil || !ok {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			schema := a.cfg.Library.Schema(wf)
+			if schema == nil {
+				continue
+			}
+			r := a.newReplica(schema, ins)
+			r.epoch = ins.Epoch
+			r.coordinator = ins.Coordinator
+			r.recovery = metrics.Failure
+			a.replicas[key] = r
+		}
+		keys := make([]string, 0, len(a.replicas))
+		for k := range a.replicas {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a.evaluate(a.replicas[k])
+		}
+	})
+	return firstErr
 }
 
 // coordinationAgentOf computes an instance's coordination agent: the elected
@@ -461,7 +557,7 @@ func (a *Agent) coordinationAgentOf(schema *model.Schema, workflow string, id in
 	if len(starts) == 0 {
 		return HomeAgent(a.cfg.Agents)
 	}
-	return nav.ElectAgent(a.effectiveAgents(schema.Steps[starts[0]]), workflow, id, starts[0], a.net.Alive)
+	return nav.ElectAgent(a.effectiveAgents(schema.Steps[starts[0]]), workflow, id, starts[0], a.alive)
 }
 
 // persist writes the replica to the AGDB. Retired (archived) replicas are
@@ -471,6 +567,11 @@ func (a *Agent) persist(r *replica) {
 	if a.cfg.AGDB == nil || r.purged {
 		return
 	}
+	// Checkpoint the replica-level recovery anchors into the record: a process
+	// restarted from this database must resume with the same rollback epoch
+	// and coordination election it persisted, not rediscover them.
+	r.ins.Epoch = r.epoch
+	r.ins.Coordinator = r.coordinator
 	if err := a.cfg.AGDB.SaveInstance(r.ins); err != nil {
 		a.logf("persist %s: %v", r.ins.Key(), err)
 	}
@@ -535,8 +636,12 @@ func (a *Agent) Terminal() *itable.Terminal { return a.term }
 // the live table, publishing the terminal status and waking completion
 // waiters. The local copy (partial on non-coordination agents) goes to this
 // agent's archive database, so Snapshot keeps answering with the per-agent
-// view. Retirement is pure local bookkeeping: it sends no messages and adds
-// no load, so the paper's message and load tables are unaffected.
+// view. For in-process deployments retirement is pure local bookkeeping: it
+// sends no messages and adds no load, so the paper's message and load tables
+// are unaffected. Only when the replica carries a NotifyTo address (set by a
+// multi-process front end's WorkflowStart) does the coordination agent push
+// one WorkflowDone across the wire — the completion signal that replaces the
+// shared terminal registry a process boundary takes away.
 //
 // Retirement happens only at terminal status, after the coordination
 // clean-up has been issued — never while pending rollback dependencies or
@@ -553,6 +658,10 @@ func (a *Agent) retireReplica(r *replica, st wfdb.Status) {
 		_ = a.cfg.AGDB.DeleteInstance(r.ins.Workflow, r.ins.ID)
 	}
 	a.term.Complete(r.ins.Workflow, r.ins.ID, st)
+	if r.ins.NotifyTo != "" {
+		a.send(r.ins.NotifyTo, metrics.Normal, KindWorkflowDone,
+			WorkflowDone{Workflow: r.ins.Workflow, Instance: r.ins.ID, Status: st})
+	}
 	a.notifyWaiters(key, st)
 	delete(a.replicas, key)
 	for hk := range a.handledHalts {

@@ -99,6 +99,7 @@ func (a *Agent) handleWorkflowStart(p workflowStart) error {
 		return err
 	}
 	r.coordinator = a.cfg.Name
+	r.ins.NotifyTo = p.ReplyTo
 	for name, v := range p.Inputs {
 		r.ins.Data[model.WorkflowInput(name)] = v
 	}
@@ -585,7 +586,7 @@ func (a *Agent) forwardPacketForStepWithReset(r *replica, target model.StepID, r
 	a.addLoad(mech, 1)
 	if a.cfg.ExplicitElection {
 		for _, ag := range elig {
-			if ag != a.cfg.Name && a.net.Alive(ag) {
+			if ag != a.cfg.Name && a.alive(ag) {
 				a.send(ag, mech, KindStateInformation, stateInformation{ReplyTo: a.cfg.Name})
 			}
 		}
@@ -1472,7 +1473,7 @@ func (a *Agent) pollOverdueRules(r *replica, now time.Time) {
 			}
 			forStep := w.Rule.Action.Step
 			for _, ag := range a.effectiveAgents(s) {
-				if ag == a.cfg.Name || !a.net.Alive(ag) {
+				if ag == a.cfg.Name || !a.alive(ag) {
 					continue
 				}
 				a.addLoad(metrics.Failure, 1)
@@ -1542,7 +1543,7 @@ func (a *Agent) handleStepStatusReply(p stepStatusReply) {
 		if r.ins.Events.Has(r.schema.DoneEventOf(p.Step)) {
 			return
 		}
-		target := nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, p.Step, a.net.Alive)
+		target := nav.ElectAgent(a.effectiveAgents(s), r.ins.Workflow, r.ins.ID, p.Step, a.alive)
 		if target == "" {
 			return
 		}

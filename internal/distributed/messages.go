@@ -5,8 +5,24 @@ import (
 	"crew/internal/expr"
 	"crew/internal/metrics"
 	"crew/internal/model"
+	"crew/internal/transport"
 	"crew/internal/wfdb"
 )
+
+func init() {
+	// Register every WI payload this architecture puts on the transport, so
+	// wire backends (unix/tcp sockets, the multi-process hub) can carry them
+	// across a process boundary.
+	transport.RegisterPayload(
+		workflowStart{}, stepExecute{}, stepCompleted{}, workflowRollback{},
+		haltThread{}, compensateSet{}, compensateThread{}, stepCompensate{},
+		stepCompensated{}, workflowAbort{}, workflowChangeInputs{},
+		stepStatus{}, stepStatusReply{}, stateInformation{},
+		stateInformationReply{}, addRule{}, addPrecondition{}, addEvent{},
+		coordRollbackNote{}, coordForgetNote{}, coordRollbackOrder{},
+		nestedResult{}, purgeNote{}, WorkflowDone{},
+	)
+}
 
 // Message kind labels: the workflow interfaces of the paper's Table 1.
 const (
@@ -32,7 +48,18 @@ const (
 	KindNestedResult         = "NestedResult"
 	KindPurge                = "Purge"
 	KindAbortDone            = "AbortDone"
+	KindWorkflowDone         = "WorkflowDone"
 )
+
+// WorkflowDone is the coordination agent's terminal-status notification to a
+// front end living in another process (see Instance.NotifyTo). In-process
+// deployments never send it: completion flows through the shared terminal
+// registry there.
+type WorkflowDone struct {
+	Workflow string
+	Instance int
+	Status   wfdb.Status
+}
 
 // workflowStart instantiates a workflow at its coordination agent.
 type workflowStart struct {
@@ -43,6 +70,9 @@ type workflowStart struct {
 	Parent      *model.StepRef
 	ParentInst  int
 	ParentAgent string
+	// ReplyTo, when non-empty, asks the coordination agent to send a
+	// WorkflowDone to that node on termination (multi-process front ends).
+	ReplyTo string
 }
 
 // stepExecute delivers a workflow packet (the StepExecute WI).

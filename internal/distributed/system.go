@@ -38,7 +38,9 @@ type SystemConfig struct {
 	// replicas. See distributed.Config.
 	StatusPollInterval time.Duration
 	StatusPollAge      time.Duration
-	Logf               func(format string, args ...any)
+	// Wire selects the transport backend (nil = in-process channels).
+	Wire transport.Wire
+	Logf func(format string, args ...any)
 }
 
 // System is a running distributed WFMS deployment. Its methods play the role
@@ -93,7 +95,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, errors.New("distributed: AGDBs length must match Agents")
 	}
 
-	net := transport.New(cfg.Collector)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: cfg.Collector, Wire: cfg.Wire})
 	sys := &System{
 		net:    net,
 		agents: make(map[string]*Agent, len(names)),

@@ -49,6 +49,10 @@ type ChaosOptions struct {
 	// message (each drop charged as one retransmission).
 	DropEvery  int
 	DisableOCR bool
+	// Backend selects the wire backend ("" or "inproc" = in-process
+	// channels; "unix"/"tcp" run the crash/recover plan across real
+	// sockets).
+	Backend string
 	// Logf receives system diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -152,6 +156,10 @@ func RunChaos(opt ChaosOptions) (*ChaosMeasured, map[string]wfdb.Status, error) 
 		quiet = func(string, ...any) {}
 	}
 
+	wire, err := newWire(opt.Backend)
+	if err != nil {
+		return nil, nil, err
+	}
 	var sys chaosSystem
 	var targets []string
 	switch opt.Arch {
@@ -163,6 +171,7 @@ func RunChaos(opt ChaosOptions) (*ChaosMeasured, map[string]wfdb.Status, error) 
 			DB:         wfdb.NewMemory(),
 			Agents:     w.Agents,
 			DisableOCR: opt.DisableOCR,
+			Wire:       wire,
 			Logf:       quiet,
 		})
 		if err != nil {
@@ -183,6 +192,7 @@ func RunChaos(opt ChaosOptions) (*ChaosMeasured, map[string]wfdb.Status, error) 
 			Agents:     w.Agents,
 			DBs:        dbs,
 			DisableOCR: opt.DisableOCR,
+			Wire:       wire,
 			Logf:       quiet,
 		})
 		if err != nil {
@@ -196,6 +206,7 @@ func RunChaos(opt ChaosOptions) (*ChaosMeasured, map[string]wfdb.Status, error) 
 			Collector:  col,
 			Agents:     w.Agents,
 			DisableOCR: opt.DisableOCR,
+			Wire:       wire,
 			Logf:       quiet,
 		})
 		if err != nil {

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crew/internal/model"
+)
+
+// CoordChecker is the exported face of the chaos coordination checker for
+// deployments where execution events arrive over a wire — each agent process
+// reports enter/exit around its step programs and the hub feeds them here —
+// instead of through a registry wrapped in the same address space.
+type CoordChecker struct {
+	c *chaosChecker
+}
+
+// NewCoordChecker builds a checker over the library's coordination specs.
+func NewCoordChecker(lib *model.Library) *CoordChecker {
+	return &CoordChecker{c: newChaosChecker(lib)}
+}
+
+// Enter records a step program starting to execute for an instance.
+func (k *CoordChecker) Enter(workflow, step string, instance int) {
+	k.c.enter(model.StepRef{Workflow: workflow, Step: model.StepID(step)},
+		fmt.Sprintf("%s.%d", workflow, instance))
+}
+
+// Exit records a step program finishing; completed distinguishes success from
+// a logical failure (only completions advance relative-order clocks).
+func (k *CoordChecker) Exit(workflow, step string, instance int, completed bool) {
+	k.c.exit(model.StepRef{Workflow: workflow, Step: model.StepID(step)},
+		fmt.Sprintf("%s.%d", workflow, instance), completed)
+}
+
+// Wrap instruments an in-process registry to report into this checker.
+func (k *CoordChecker) Wrap(reg *model.Registry) *model.Registry { return k.c.Wrap(reg) }
+
+// MutexViolations returns observed mutual-exclusion breaches.
+func (k *CoordChecker) MutexViolations() []string { return k.c.MutexViolations() }
+
+// OrderViolations returns observed relative-order inversions.
+func (k *CoordChecker) OrderViolations() []string { return k.c.OrderViolations() }

@@ -18,6 +18,7 @@ import (
 	"crew/internal/distributed"
 	"crew/internal/metrics"
 	"crew/internal/parallel"
+	"crew/internal/transport"
 	"crew/internal/workload"
 )
 
@@ -37,6 +38,24 @@ type Options struct {
 	// ExplicitElection uses the StateInformation successor election in
 	// distributed control (ablation).
 	ExplicitElection bool
+	// Backend selects the wire backend ("" or "inproc" = in-process
+	// channels; "unix"/"tcp" carry every message across real sockets).
+	// Runs are deterministic per backend; the workflow-item columns
+	// (normal, failure, abort, input change) are identical on every
+	// backend, while coordination counts may shift slightly because the
+	// coordination protocol reacts to cross-link arrival interleaving,
+	// which a socket changes.
+	Backend string
+}
+
+// newWire builds the transport backend a Backend string names.
+func newWire(backend string) (transport.Wire, error) {
+	switch backend {
+	case "", "inproc":
+		return nil, nil
+	default:
+		return transport.NewSocketWire(backend, "")
+	}
 }
 
 // Measured is the outcome of one run.
@@ -79,6 +98,10 @@ func Run(opt Options) (*Measured, error) {
 	}
 	col := metrics.NewCollector()
 	quiet := func(string, ...any) {}
+	wire, err := newWire(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
 
 	var target workload.Target
 	var closeFn func()
@@ -93,6 +116,7 @@ func Run(opt Options) (*Measured, error) {
 			Collector:  col,
 			Agents:     w.Agents,
 			DisableOCR: opt.DisableOCR,
+			Wire:       wire,
 			Logf:       quiet,
 		})
 		if err != nil {
@@ -108,6 +132,7 @@ func Run(opt Options) (*Measured, error) {
 			Engines:    opt.Params.E,
 			Agents:     w.Agents,
 			DisableOCR: opt.DisableOCR,
+			Wire:       wire,
 			Logf:       quiet,
 		})
 		if err != nil {
@@ -125,6 +150,7 @@ func Run(opt Options) (*Measured, error) {
 			Agents:           w.Agents,
 			DisableOCR:       opt.DisableOCR,
 			ExplicitElection: opt.ExplicitElection,
+			Wire:             wire,
 			Logf:             quiet,
 		})
 		if err != nil {

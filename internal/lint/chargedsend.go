@@ -21,6 +21,24 @@ var sendEntryPoints = map[methodKey]int{
 	{pkg: transportPath, recv: "Network", name: "Send"}:     0,
 	{pkg: transportPath, recv: "Handle", name: "SendBatch"}: -1,
 	{pkg: transportPath, recv: "Batcher", name: "Add"}:      1,
+	// ChildConn.SendMessage is the wire primitive that forwards a message
+	// into the hub network; the hub charges it there, so the forwarded
+	// message must already carry its Mechanism (forwarding funnels that
+	// relay pre-charged traffic annotate //crew:nocharge).
+	{pkg: transportPath, recv: "ChildConn", name: "SendMessage"}: 0,
+}
+
+// wireDeliverCall reports a dynamic call of transport.Link.Deliver — the
+// backend send primitive below the charging front half. StaticCallee cannot
+// resolve interface methods, so the receiver's static type is matched
+// instead.
+func wireDeliverCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Deliver" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && isNamedType(t, transportPath, "Link")
 }
 
 // ChargedSend enforces the msgs/load accounting invariant statically: every
@@ -52,6 +70,12 @@ func runChargedSend(pass *analysis.Pass) (any, error) {
 		call := n.(*ast.CallExpr)
 		k, ok := calleeKey(pass.TypesInfo, call)
 		if !ok {
+			// Link.Deliver sits BELOW the charging front half: a message
+			// entering it directly was never counted, never sequenced and
+			// never tracked for park/replay, whatever its Mechanism says.
+			if wireDeliverCall(pass, call) && !exempted(pass, call.Pos(), "chargedsend") {
+				pass.Reportf(call.Pos(), "uncharged transport send: Link.Deliver bypasses the Network front half (counting, fault policy, park/replay) — send through Network.Send or a Handle (annotate //crew:nocharge <reason> if deliberate)")
+			}
 			return true
 		}
 		argIdx, hit := sendEntryPoints[k]

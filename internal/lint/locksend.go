@@ -40,6 +40,11 @@ var lockBlockingCalls = map[methodKey]bool{
 	{pkg: transportPath, recv: "Network", name: "AwaitStall"}:     true,
 	{pkg: "crew/internal/central", recv: "Engine", name: "Do"}:    true,
 	{pkg: "crew/internal/distributed", recv: "Agent", name: "Do"}: true,
+	// Wire primitives park the goroutine on a socket or a peer's consume
+	// loop: a delivery can wait out a whole crash/recover cycle, and
+	// Serve/WaitConnected block for the lifetime of a connection.
+	{pkg: transportPath, recv: "ChildConn", name: "Serve"}:         true,
+	{pkg: transportPath, recv: "RemoteHub", name: "WaitConnected"}: true,
 }
 
 // lockEvent is one Lock/Unlock call inside a function.
@@ -142,6 +147,10 @@ func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
 					what = k.recv + "." + what
 				}
 				blocks = append(blocks, blockEvent{st.Pos(), what})
+			} else if !ok && wireDeliverCall(pass, st) {
+				// Interface dispatch: calleeKey cannot resolve Link.Deliver,
+				// but a backend delivery can block on a socket or a down peer.
+				blocks = append(blocks, blockEvent{st.Pos(), "Link.Deliver"})
 			}
 		}
 		return true

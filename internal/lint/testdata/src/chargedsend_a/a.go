@@ -38,3 +38,11 @@ func batcher(b *transport.Batcher, net *transport.Network) {
 	b.Add(1, transport.Message{Kind: "x"})                   // want "uncharged transport send: Batcher.Add"
 	net.Send(transport.Message{Kind: "x"})                   // want "uncharged transport send: Network.Send"
 }
+
+func wirePrimitives(c *transport.ChildConn, l transport.Link) {
+	c.SendMessage(transport.Message{Mechanism: mechCoordination}) // ok: forwarded message carries its charge
+	c.SendMessage(transport.Message{Kind: "x"})                   // want "uncharged transport send: ChildConn.SendMessage"
+	l.Deliver(transport.Message{Mechanism: mechCoordination})     // want "uncharged transport send: Link.Deliver bypasses the Network front half"
+	//crew:nocharge fixture exercises the raw backend directly
+	l.Deliver(transport.Message{Kind: "x"}) // ok: annotated
+}

@@ -23,3 +23,18 @@ func (n *Network) AwaitStall()    {}
 type Batcher struct{}
 
 func (b *Batcher) Add(to int, m Message) {}
+
+// Link is the backend send primitive below the charging front half.
+type Link interface {
+	Deliver(m Message) error
+	Close() error
+}
+
+type ChildConn struct{}
+
+func (c *ChildConn) SendMessage(m Message) error         { return nil }
+func (c *ChildConn) Serve(deliver func(m Message)) error { return nil }
+
+type RemoteHub struct{}
+
+func (h *RemoteHub) WaitConnected(names ...string) error { return nil }

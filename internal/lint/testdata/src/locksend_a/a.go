@@ -68,6 +68,15 @@ func (q *queue) blockingCalls(wg *sync.WaitGroup, net *transport.Network) {
 	net.AwaitStall() // ok: lock released
 }
 
+func (q *queue) wireCalls(c *transport.ChildConn, hub *transport.RemoteHub, l transport.Link) {
+	q.mu.Lock()
+	c.Serve(nil)                   // want "ChildConn.Serve while q.mu is locked"
+	hub.WaitConnected()            // want "RemoteHub.WaitConnected while q.mu is locked"
+	l.Deliver(transport.Message{}) // want "Link.Deliver while q.mu is locked"
+	q.mu.Unlock()
+	l.Deliver(transport.Message{}) // ok: lock released
+}
+
 func (q *queue) goroutineBody() {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -69,6 +69,14 @@ type coordOrder struct {
 	Order coord.RollbackOrder
 }
 
+func init() {
+	// Register the coordination payloads so wire backends can carry them.
+	transport.RegisterPayload(
+		coordCheck{}, coordResolve{}, coordDone{}, coordFailed{},
+		coordRollback{}, coordForget{}, coordInject{}, coordOrder{},
+	)
+}
+
 // Message kind labels.
 const (
 	kindCoordCheck   = "CoordCheck"
@@ -93,7 +101,9 @@ type SystemConfig struct {
 	// DBs optionally gives each engine a database (len must equal Engines).
 	DBs        []*wfdb.DB
 	DisableOCR bool
-	Logf       func(format string, args ...any)
+	// Wire selects the transport backend (nil = in-process channels).
+	Wire transport.Wire
+	Logf func(format string, args ...any)
 }
 
 // System is a running parallel WFMS deployment.
@@ -151,7 +161,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		agents = []string{"agent1", "agent2"}
 	}
 
-	net := transport.New(cfg.Collector)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: cfg.Collector, Wire: cfg.Wire})
 	sys := &System{
 		net:     net,
 		col:     cfg.Collector,

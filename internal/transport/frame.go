@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"reflect"
+	"sync"
+
+	"crew/internal/cerrors"
+	"crew/internal/metrics"
+)
+
+// The wire frame format shared by every socket backend and the multi-process
+// hub protocol. A frame is:
+//
+//	[4-byte big-endian length n][1-byte type][n-1 body bytes]
+//
+// The length covers the type byte and body. Frames above MaxFrame are
+// rejected before any allocation, protecting receivers from corrupt or
+// hostile length prefixes. All failures are classified through
+// cerrors (CodeFrameTruncated / CodeFrameMalformed / CodeFrameOversized), so
+// callers switch on cerrors.CodeOf and never string-match.
+//
+// A message frame body is:
+//
+//	[1-byte envelope flag][count uvarint, envelopes only][message...]
+//
+// and each message is:
+//
+//	[from][to][kind]            uvarint-length-prefixed strings
+//	[mechanism uvarint]
+//	[payload type name string]  "" for a nil payload
+//	[payload length uvarint][payload JSON bytes]
+//
+// Payload types must be pre-registered with RegisterPayload: the type name
+// is the wire tag, and decoding produces the same concrete type the sender
+// passed, so receiver type-switches work unchanged across a socket.
+
+// MaxFrame is the hard ceiling on one frame's length (type byte + body).
+const MaxFrame = 8 << 20
+
+// Frame types. The loopback socket backend uses Msg/Hello/Ack; the
+// multi-process hub protocol additionally uses Welcome (peer roster),
+// Crash/Recover (liveness announcements) and Exec (program-execution events
+// feeding the cross-process coordination-invariant checker).
+const (
+	frameMsg byte = iota + 1
+	frameHello
+	frameWelcome
+	frameAck
+	frameCrash
+	frameRecover
+	frameExec
+)
+
+// appendFrame appends one complete frame to dst.
+func appendFrame(dst []byte, typ byte, body []byte) []byte {
+	n := len(body) + 1
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// readFrame reads one frame, reusing buf when it is large enough. io.EOF is
+// returned bare for a clean close at a frame boundary; every other failure is
+// a classified wire error.
+func readFrame(r io.Reader, buf []byte) (typ byte, body, nextBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, err, "frame header")
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return 0, nil, buf, cerrors.E(cerrors.CodeFrameOversized, cerrors.PhaseDecode, cerrors.ErrWire, nil, "frame length %d exceeds limit %d", n, MaxFrame)
+	}
+	if n < 1 {
+		return 0, nil, buf, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "frame length %d", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, err, "frame body (%d bytes)", n)
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return "", nil, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, nil, "string header")
+	}
+	return string(b[w : w+int(n)]), b[w+int(n):], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, nil, "uvarint")
+	}
+	return n, b[w:], nil
+}
+
+// appendMessage appends a message-frame body (no frame header) to dst. A
+// batched envelope is flattened into its logical messages behind the
+// envelope flag; the receive side rebuilds a pooled *Envelope, so park/replay
+// and per-logical-message counting behave identically across the wire.
+func appendMessage(dst []byte, m Message) ([]byte, error) {
+	if env, ok := m.Payload.(*Envelope); ok && m.Kind == KindEnvelope {
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(len(env.Msgs)))
+		var err error
+		for i := range env.Msgs {
+			if dst, err = appendOne(dst, env.Msgs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	}
+	dst = append(dst, 0)
+	return appendOne(dst, m)
+}
+
+func appendOne(dst []byte, m Message) ([]byte, error) {
+	dst = appendString(dst, m.From)
+	dst = appendString(dst, m.To)
+	dst = appendString(dst, m.Kind)
+	dst = binary.AppendUvarint(dst, uint64(m.Mechanism))
+	if m.Payload == nil {
+		return appendString(dst, ""), nil
+	}
+	name, ok := payloadNameOf(m.Payload)
+	if !ok {
+		return nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseEncode, cerrors.ErrWire, nil, "unregistered payload type %T (missing transport.RegisterPayload)", m.Payload)
+	}
+	dst = appendString(dst, name)
+	b, err := json.Marshal(m.Payload)
+	if err != nil {
+		return nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseEncode, cerrors.ErrWire, err, "payload %s", name)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...), nil
+}
+
+// decodeMessage parses a message-frame body. An envelope body yields a
+// wrapper message carrying a fresh pooled *Envelope (the consumer releases
+// it, exactly as on the in-process path).
+func decodeMessage(body []byte) (Message, error) {
+	if len(body) < 1 {
+		return Message{}, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, nil, "empty message body")
+	}
+	flag, rest := body[0], body[1:]
+	switch flag {
+	case 0:
+		m, rest, err := decodeOne(rest)
+		if err != nil {
+			return Message{}, err
+		}
+		if len(rest) != 0 {
+			return Message{}, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "%d trailing bytes", len(rest))
+		}
+		return m, nil
+	case 1:
+		count, rest, err := readUvarint(rest)
+		if err != nil {
+			return Message{}, err
+		}
+		if count == 0 {
+			return Message{}, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "empty envelope")
+		}
+		env := NewEnvelope()
+		for i := uint64(0); i < count; i++ {
+			var m Message
+			if m, rest, err = decodeOne(rest); err != nil {
+				env.Release()
+				return Message{}, err
+			}
+			env.Msgs = append(env.Msgs, m)
+		}
+		if len(rest) != 0 {
+			env.Release()
+			return Message{}, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "%d trailing bytes", len(rest))
+		}
+		first := env.Msgs[0]
+		return Message{From: first.From, To: first.To, Mechanism: first.Mechanism, Kind: KindEnvelope, Payload: env}, nil
+	default:
+		return Message{}, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "envelope flag %d", flag)
+	}
+}
+
+func decodeOne(b []byte) (Message, []byte, error) {
+	var m Message
+	var err error
+	if m.From, b, err = readString(b); err != nil {
+		return m, nil, err
+	}
+	if m.To, b, err = readString(b); err != nil {
+		return m, nil, err
+	}
+	if m.Kind, b, err = readString(b); err != nil {
+		return m, nil, err
+	}
+	mech, b, err := readUvarint(b)
+	if err != nil {
+		return m, nil, err
+	}
+	if mech >= uint64(len(metrics.Mechanisms)) {
+		return m, nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "mechanism %d", mech)
+	}
+	m.Mechanism = metrics.Mechanism(mech)
+	name, b, err := readString(b)
+	if err != nil {
+		return m, nil, err
+	}
+	if name == "" {
+		return m, b, nil
+	}
+	plen, b, err := readUvarint(b)
+	if err != nil {
+		return m, nil, err
+	}
+	if plen > uint64(len(b)) {
+		return m, nil, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, nil, "payload %s: %d bytes declared, %d available", name, plen, len(b))
+	}
+	if m.Payload, err = decodePayload(name, b[:plen]); err != nil {
+		return m, nil, err
+	}
+	return m, b[plen:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Payload registry
+
+var payloadReg = struct {
+	mu     sync.RWMutex
+	byName map[string]reflect.Type
+	byType map[reflect.Type]string
+}{
+	byName: make(map[string]reflect.Type),
+	byType: make(map[reflect.Type]string),
+}
+
+// RegisterPayload registers prototype payload values so wire backends can
+// carry Message.Payload across a socket. The wire tag is the reflect type
+// string (e.g. "distributed.workflowStart"); decoding yields the same
+// concrete type the sender passed (a value for a value prototype, a pointer
+// for a pointer prototype), so receiver type-switches work unchanged.
+// Registration is idempotent; registering two different types under one name
+// panics (an init-time bug, never a runtime condition). Packages that send
+// through the transport register their payload types in an init function.
+func RegisterPayload(prototypes ...any) {
+	payloadReg.mu.Lock()
+	defer payloadReg.mu.Unlock()
+	for _, p := range prototypes {
+		t := reflect.TypeOf(p)
+		if t == nil {
+			panic("transport: RegisterPayload(nil)")
+		}
+		name := t.String()
+		if prev, ok := payloadReg.byName[name]; ok {
+			if prev != t {
+				panic("transport: payload name collision: " + name)
+			}
+			continue
+		}
+		payloadReg.byName[name] = t
+		payloadReg.byType[t] = name
+	}
+}
+
+func payloadNameOf(p any) (string, bool) {
+	payloadReg.mu.RLock()
+	name, ok := payloadReg.byType[reflect.TypeOf(p)]
+	payloadReg.mu.RUnlock()
+	return name, ok
+}
+
+func decodePayload(name string, data []byte) (any, error) {
+	payloadReg.mu.RLock()
+	t, ok := payloadReg.byName[name]
+	payloadReg.mu.RUnlock()
+	if !ok {
+		return nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "unknown payload type %q", name)
+	}
+	if t.Kind() == reflect.Pointer {
+		pv := reflect.New(t.Elem())
+		if err := json.Unmarshal(data, pv.Interface()); err != nil {
+			return nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, err, "payload %s", name)
+		}
+		return pv.Interface(), nil
+	}
+	pv := reflect.New(t)
+	if err := json.Unmarshal(data, pv.Interface()); err != nil {
+		return nil, cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, err, "payload %s", name)
+	}
+	return pv.Elem().Interface(), nil
+}

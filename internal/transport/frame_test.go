@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"crew/internal/cerrors"
+	"crew/internal/metrics"
+)
+
+// wirePayload / wirePtrPayload are the test payload types registered for the
+// wire codec tests (value and pointer prototypes).
+type wirePayload struct {
+	A string
+	B int
+}
+
+type wirePtrPayload struct {
+	N int
+}
+
+func init() {
+	RegisterPayload(wirePayload{}, &wirePtrPayload{}, 0)
+}
+
+func mustEncode(t *testing.T, m Message) []byte {
+	t.Helper()
+	body, err := appendMessage(nil, m)
+	if err != nil {
+		t.Fatalf("appendMessage: %v", err)
+	}
+	return body
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{From: "a", To: "b", Kind: "StepExecute", Mechanism: metrics.Normal, Payload: wirePayload{A: "x", B: 7}},
+		{From: "a", To: "b", Kind: "Ptr", Mechanism: metrics.Coordination, Payload: &wirePtrPayload{N: 3}},
+		{From: "", To: "b", Kind: "", Mechanism: metrics.Normal, Payload: nil},
+		{From: "a", To: "b", Kind: "Int", Mechanism: metrics.Normal, Payload: 42},
+	}
+	for _, want := range cases {
+		got, err := decodeMessage(mustEncode(t, want))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.From != want.From || got.To != want.To || got.Kind != want.Kind || got.Mechanism != want.Mechanism {
+			t.Errorf("header mismatch: got %+v want %+v", got, want)
+		}
+		switch p := want.Payload.(type) {
+		case nil:
+			if got.Payload != nil {
+				t.Errorf("payload = %v, want nil", got.Payload)
+			}
+		case *wirePtrPayload:
+			gp, ok := got.Payload.(*wirePtrPayload)
+			if !ok || gp.N != p.N {
+				t.Errorf("payload = %#v, want %#v", got.Payload, p)
+			}
+		default:
+			if got.Payload != want.Payload {
+				t.Errorf("payload = %#v, want %#v", got.Payload, want.Payload)
+			}
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := NewEnvelope()
+	for i := 0; i < 3; i++ {
+		env.Msgs = append(env.Msgs, Message{From: "a", To: "b", Kind: "K", Payload: wirePayload{B: i}})
+	}
+	wrapper := Message{From: "a", To: "b", Kind: KindEnvelope, Payload: env}
+	got, err := decodeMessage(mustEncode(t, wrapper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	genv, ok := got.Payload.(*Envelope)
+	if !ok || got.Kind != KindEnvelope {
+		t.Fatalf("decoded wrapper = %+v", got)
+	}
+	if len(genv.Msgs) != 3 {
+		t.Fatalf("decoded %d logical messages, want 3", len(genv.Msgs))
+	}
+	for i, m := range genv.Msgs {
+		if m.Payload.(wirePayload).B != i {
+			t.Errorf("logical message %d payload = %+v", i, m.Payload)
+		}
+	}
+	genv.Release()
+	env.Release()
+}
+
+func TestEncodeRejectsUnregisteredPayload(t *testing.T) {
+	type secret struct{ X int }
+	_, err := appendMessage(nil, Message{Payload: secret{}})
+	if cerrors.CodeOf(err) != cerrors.CodeFrameMalformed {
+		t.Fatalf("CodeOf = %q, want CodeFrameMalformed (err=%v)", cerrors.CodeOf(err), err)
+	}
+	if cerrors.PhaseOf(err) != cerrors.PhaseEncode {
+		t.Fatalf("PhaseOf = %q, want PhaseEncode", cerrors.PhaseOf(err))
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := mustEncode(t, Message{From: "a", To: "b", Kind: "K", Payload: wirePayload{B: 1}})
+	cases := []struct {
+		name string
+		body []byte
+		want cerrors.Code
+	}{
+		{"empty body", nil, cerrors.CodeFrameTruncated},
+		{"bad flag", []byte{9}, cerrors.CodeFrameMalformed},
+		{"truncated string", []byte{0, 200}, cerrors.CodeFrameTruncated},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xFF), cerrors.CodeFrameMalformed},
+		{"empty envelope", []byte{1, 0}, cerrors.CodeFrameMalformed},
+		{"bad mechanism", func() []byte {
+			b := []byte{0}
+			b = appendString(b, "a")
+			b = appendString(b, "b")
+			b = appendString(b, "K")
+			return append(b, 100) // mechanism 100 >= len(metrics.Mechanisms)
+		}(), cerrors.CodeFrameMalformed},
+		{"unknown payload type", func() []byte {
+			b := []byte{0}
+			b = appendString(b, "a")
+			b = appendString(b, "b")
+			b = appendString(b, "K")
+			b = append(b, 0) // mechanism
+			b = appendString(b, "nosuch.Type")
+			return append(b, 0)
+		}(), cerrors.CodeFrameMalformed},
+		{"payload longer than body", func() []byte {
+			b := []byte{0}
+			b = appendString(b, "a")
+			b = appendString(b, "b")
+			b = appendString(b, "K")
+			b = append(b, 0)
+			b = appendString(b, "transport.wirePayload")
+			return append(b, 200) // declares 200 payload bytes, none follow
+		}(), cerrors.CodeFrameTruncated},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := decodeMessage(c.body)
+			if err == nil {
+				t.Fatal("decode accepted malformed body")
+			}
+			if got := cerrors.CodeOf(err); got != c.want {
+				t.Errorf("CodeOf = %q, want %q (err=%v)", got, c.want, err)
+			}
+			if !errors.Is(err, cerrors.ErrWire) {
+				t.Errorf("error not classified under ErrWire: %v", err)
+			}
+		})
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// Oversized length prefix is rejected before any allocation.
+	over := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	_, _, _, err := readFrame(bytes.NewReader(over), nil)
+	if cerrors.CodeOf(err) != cerrors.CodeFrameOversized {
+		t.Errorf("oversized: CodeOf = %q (err=%v)", cerrors.CodeOf(err), err)
+	}
+	// Zero-length frame (no type byte) is malformed.
+	zero := []byte{0, 0, 0, 0}
+	_, _, _, err = readFrame(bytes.NewReader(zero), nil)
+	if cerrors.CodeOf(err) != cerrors.CodeFrameMalformed {
+		t.Errorf("zero length: CodeOf = %q (err=%v)", cerrors.CodeOf(err), err)
+	}
+	// A body shorter than declared is truncated.
+	trunc := appendFrame(nil, frameMsg, []byte("abc"))[:6]
+	_, _, _, err = readFrame(bytes.NewReader(trunc), nil)
+	if cerrors.CodeOf(err) != cerrors.CodeFrameTruncated {
+		t.Errorf("truncated: CodeOf = %q (err=%v)", cerrors.CodeOf(err), err)
+	}
+	// Clean close at a frame boundary is bare io.EOF, not a wire error.
+	_, _, _, err = readFrame(bytes.NewReader(nil), nil)
+	if err != io.EOF {
+		t.Errorf("clean EOF: err = %v, want io.EOF", err)
+	}
+	// And a valid frame round-trips through appendFrame/readFrame.
+	framed := appendFrame(nil, frameHello, []byte("node-1"))
+	typ, body, _, err := readFrame(bytes.NewReader(framed), nil)
+	if err != nil || typ != frameHello || string(body) != "node-1" {
+		t.Errorf("round trip: typ=%d body=%q err=%v", typ, body, err)
+	}
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(mustEncodeFuzz(Message{From: "a", To: "b", Kind: "K", Payload: wirePayload{A: "x", B: 1}}))
+	f.Add(mustEncodeFuzz(Message{From: "a", To: "b", Kind: "Nil"}))
+	env := NewEnvelope()
+	env.Msgs = append(env.Msgs, Message{From: "a", To: "b", Kind: "E1"}, Message{From: "a", To: "b", Kind: "E2", Payload: &wirePtrPayload{N: 9}})
+	f.Add(mustEncodeFuzz(Message{From: "a", To: "b", Kind: KindEnvelope, Payload: env}))
+	env.Release()
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		m, err := decodeMessage(body)
+		if err != nil {
+			// Every rejection must be a classified wire error.
+			if !errors.Is(err, cerrors.ErrWire) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same bytes-level
+		// message (encode is canonical, so enc(dec(b)) is a fixed point).
+		re, err := appendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		m2, err := decodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		re2, err := appendMessage(nil, m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical encoding not stable:\n first=%x\nsecond=%x", re, re2)
+		}
+		if env, ok := m.Payload.(*Envelope); ok {
+			env.Release()
+		}
+		if env, ok := m2.Payload.(*Envelope); ok {
+			env.Release()
+		}
+	})
+}
+
+func mustEncodeFuzz(m Message) []byte {
+	body, err := appendMessage(nil, m)
+	if err != nil {
+		panic(err)
+	}
+	return body
+}

@@ -1,0 +1,684 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crew/internal/cerrors"
+)
+
+// This file implements the multi-process hub protocol: the piece that turns
+// the in-process Network into the message switch of a deployment whose agents
+// are real OS processes.
+//
+// Topology: the hub process owns the Network (and with it the authoritative
+// message counts, fault policy, parking and quiescence accounting). Every
+// agent process dials the hub once and claims its node name with a HELLO
+// frame. From then on the single connection carries, hub -> child, the
+// node's deliveries (MSG) and deployment liveness announcements (WELCOME,
+// CRASH, RECOVER); and child -> hub, the child's outbound sends (MSG,
+// re-entering the hub Network where they are counted and routed), delivery
+// acknowledgements (ACK) and program-execution events (EXEC, feeding a
+// cross-process coordination-invariant checker).
+//
+// Delivery to a child is write-and-track rather than write-and-wait: Deliver
+// appends the message to the node's unacked tail, writes the frame and
+// returns, and the child's ACK — sent only after the child has fully
+// processed the delivery, including flushing its own follow-up sends on the
+// same connection — retires it from the in-flight count. Because the ACK
+// trails the follow-up sends in the connection's FIFO, the hub never observes
+// a processed-but-unsent gap: Quiesce stays exact across process boundaries.
+// A child killed mid-delivery leaves the message in the unacked tail; the
+// respawned child's reconnect replays the tail in order before any new
+// traffic (at-least-once — the workflow protocol's epoch merge absorbs the
+// duplicates this can produce).
+
+// Exec phases reported over EXEC frames.
+const (
+	// ExecEnter marks a step program starting to run.
+	ExecEnter byte = iota
+	// ExecExitOK marks a step program returning success.
+	ExecExitOK
+	// ExecExitFail marks a step program returning a logical failure.
+	ExecExitFail
+)
+
+// ExecEvent is one program-execution event crossing the hub protocol: a child
+// reports the execution window of every step program it runs, so the hub can
+// check coordination invariants (mutex overlap, relative order) from outside
+// the processes that enforce them.
+type ExecEvent struct {
+	Phase    byte
+	Workflow string
+	Step     string
+	Instance int
+}
+
+// RemoteHub is the hub-process side of the protocol. It plugs into a Network
+// as the delivery backend of remote nodes (RegisterRemote) and is closed with
+// the network (it registers itself as a backend).
+type RemoteHub struct {
+	n      *Network
+	ln     net.Listener
+	onExec func(ExecEvent)
+	tmpDir string
+
+	mu    sync.Mutex
+	peers map[string]*remotePeer
+
+	closed   atomic.Bool
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewRemoteHub binds a hub listener ("unix" or "tcp"; empty addr picks a
+// private socket path or a loopback port) and attaches it to the network.
+// onExec, when non-nil, receives every EXEC event children report.
+func NewRemoteHub(n *Network, network, addr string, onExec func(ExecEvent)) (*RemoteHub, error) {
+	h := &RemoteHub{
+		n:        n,
+		onExec:   onExec,
+		peers:    make(map[string]*remotePeer),
+		closedCh: make(chan struct{}),
+	}
+	switch network {
+	case "unix":
+		if addr == "" {
+			dir, err := os.MkdirTemp("", "crewhub")
+			if err != nil {
+				return nil, cerrors.E(cerrors.CodeInvalidConfig, cerrors.PhaseListen, cerrors.ErrWire, err, "hub socket dir")
+			}
+			h.tmpDir = dir
+			addr = filepath.Join(dir, "hub.sock")
+		}
+	case "tcp":
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+	default:
+		return nil, cerrors.E(cerrors.CodeInvalidConfig, cerrors.PhaseConfig, cerrors.ErrWire, nil, "hub network %q (want unix or tcp)", network)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		if h.tmpDir != "" {
+			os.RemoveAll(h.tmpDir)
+		}
+		return nil, cerrors.E(cerrors.CodeDialRefused, cerrors.PhaseListen, cerrors.ErrWire, err, "hub listen %s %s", network, addr)
+	}
+	h.ln = ln
+	n.addBackend(h)
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's bound address (children dial it).
+func (h *RemoteHub) Addr() string { return h.ln.Addr().String() }
+
+// RegisterRemote creates a network node whose consumer is a child process.
+// The node takes part in counting, fault injection, parking and quiescence
+// like any in-process node; its deliveries cross the hub connection once a
+// child claims the name.
+func (h *RemoteHub) RegisterRemote(name string) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	p := &remotePeer{hub: h, name: name, claimed: make(chan struct{})}
+	_, err := h.n.registerRemote(name, func(nd *node) Link {
+		p.nd = nd
+		return p
+	})
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.peers[name] = p
+	h.mu.Unlock()
+	return nil
+}
+
+// Announce broadcasts a node's liveness transition to every connected child,
+// so their election liveness maps track the hub's crash/recover injections.
+// The network-side Crash/Recover bookkeeping is the caller's job (the fault
+// injector already drives Network.Crash and Network.Recover directly).
+func (h *RemoteHub) Announce(name string, up bool) {
+	typ := frameCrash
+	if up {
+		typ = frameRecover
+	}
+	body := appendString(nil, name)
+	h.mu.Lock()
+	peers := make([]*remotePeer, 0, len(h.peers))
+	for _, p := range h.peers {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.writeFrameLocked(typ, body)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Connected reports whether a child currently claims the node.
+func (h *RemoteHub) Connected(name string) bool {
+	h.mu.Lock()
+	p := h.peers[name]
+	h.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn != nil
+}
+
+// WaitConnected blocks until every named node has been claimed by a child.
+func (h *RemoteHub) WaitConnected(ctx context.Context, names ...string) error {
+	for _, name := range names {
+		h.mu.Lock()
+		p := h.peers[name]
+		h.mu.Unlock()
+		if p == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+		}
+		for {
+			p.mu.Lock()
+			connected := p.conn != nil
+			ch := p.claimed
+			p.mu.Unlock()
+			if connected {
+				break
+			}
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-h.closedCh:
+				return ErrClosed
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts the hub down: the listener and every child connection close,
+// which fails in-flight Delivers and joins the reader goroutines. Idempotent;
+// Network.Close calls it through the backend registration.
+func (h *RemoteHub) Close() error {
+	if h.closed.Swap(true) {
+		return nil
+	}
+	close(h.closedCh)
+	h.ln.Close()
+	h.mu.Lock()
+	peers := make([]*remotePeer, 0, len(h.peers))
+	for _, p := range h.peers {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	h.wg.Wait()
+	if h.tmpDir != "" {
+		os.RemoveAll(h.tmpDir)
+	}
+	return nil
+}
+
+func (h *RemoteHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serve(c)
+	}
+}
+
+// serve handles one child connection: HELLO claims a node, then the loop
+// dispatches the child's MSG/ACK/EXEC frames until the connection dies.
+func (h *RemoteHub) serve(c net.Conn) {
+	defer h.wg.Done()
+	var buf []byte
+	typ, body, buf, err := readFrame(c, buf)
+	if err != nil || typ != frameHello {
+		c.Close()
+		return
+	}
+	name, _, err := readString(body)
+	if err != nil {
+		c.Close()
+		return
+	}
+	h.mu.Lock()
+	p := h.peers[name]
+	h.mu.Unlock()
+	if p == nil {
+		c.Close()
+		return
+	}
+	p.attach(c)
+	defer p.detach(c)
+	for {
+		typ, body, buf, err = readFrame(c, buf)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameMsg:
+			m, err := decodeMessage(body)
+			if err != nil {
+				return
+			}
+			h.inject(m)
+		case frameAck:
+			p.ack()
+		case frameExec:
+			ev, err := decodeExec(body)
+			if err != nil {
+				return
+			}
+			if h.onExec != nil {
+				h.onExec(ev)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// inject routes a child's forwarded send through the hub network, where it is
+// counted (per logical message for envelopes) exactly like a local send.
+func (h *RemoteHub) inject(m Message) {
+	if env, ok := m.Payload.(*Envelope); ok && m.Kind == KindEnvelope {
+		nd := h.n.lookup(m.To)
+		if nd == nil {
+			env.Release()
+			return
+		}
+		h.n.deliverBatch(nd, env)
+		return
+	}
+	h.n.Send(m)
+}
+
+// remotePeer is the hub-side send half of one remote node: the Link its
+// network node delivers through, plus the claimed connection.
+type remotePeer struct {
+	hub  *RemoteHub
+	name string
+	nd   *node
+
+	// mu guards conn and serializes every write on it: deliveries, the
+	// attach-time WELCOME + unacked replay, and liveness broadcasts. The lock
+	// order is mu before nd.mu, always.
+	mu      sync.Mutex
+	conn    net.Conn
+	claimed chan struct{} // closed while conn != nil; replaced on detach
+	scratch []byte
+}
+
+// Deliver carries one message toward the child. With a claimed connection it
+// appends the message to the unacked tail and writes the frame — returning
+// nil even if the write fails, because the message is tracked for replay and
+// popping it back out would race the ACK stream. With no connection it waits
+// for a claim, failing fast once the node is marked down so the pump parks
+// the remainder (keeping AwaitStall's stalled-network signal sharp) and
+// polling the liveness flag so a crash during the wait cannot strand it.
+func (p *remotePeer) Deliver(m Message) error {
+	for {
+		p.mu.Lock()
+		if p.conn != nil {
+			err := p.writeMsgLocked(m)
+			p.mu.Unlock()
+			return err
+		}
+		ch := p.claimed
+		p.mu.Unlock()
+		if p.hub.closed.Load() {
+			return ErrClosed
+		}
+		if !p.nd.up.Load() {
+			return cerrors.E(cerrors.CodePeerCrashed, cerrors.PhaseDeliver, cerrors.ErrWire, nil, "node %s down with no process attached", p.name)
+		}
+		select {
+		case <-ch:
+		case <-p.hub.closedCh:
+			return ErrClosed
+		case <-p.nd.stop:
+			return ErrClosed
+		case <-time.After(20 * time.Millisecond):
+			// Re-check the liveness flag; a crash can land while we sleep.
+		}
+	}
+}
+
+// Close implements Link; the hub owns connection lifecycle, nothing to do.
+func (p *remotePeer) Close() error { return nil }
+
+// writeMsgLocked encodes and writes one MSG frame under p.mu, tracking the
+// message in the node's unacked tail first: once the frame may have reached
+// the child the message must be replayable, and ACKs pop strictly from the
+// front. An encode failure (unregistered payload — a sender bug) is returned
+// without tracking; a write failure is not an error here, the reader will
+// detach the dead connection and a reclaim will replay the tail.
+func (p *remotePeer) writeMsgLocked(m Message) error {
+	framed, err := appendMessageFrame(p.scratch[:0], m)
+	if err != nil {
+		return err
+	}
+	p.scratch = framed
+	p.nd.mu.Lock()
+	p.nd.unacked = append(p.nd.unacked, m)
+	if !p.nd.up.Load() {
+		p.nd.net.parked.Add(1)
+	}
+	p.nd.mu.Unlock()
+	if _, err := p.conn.Write(framed); err != nil {
+		p.conn.Close()
+	}
+	return nil
+}
+
+// writeFrameLocked writes one non-MSG frame under p.mu.
+func (p *remotePeer) writeFrameLocked(typ byte, body []byte) {
+	p.scratch = appendFrame(p.scratch[:0], typ, body)
+	if _, err := p.conn.Write(p.scratch); err != nil {
+		p.conn.Close()
+	}
+}
+
+// attach installs a claimed connection: welcome the child with the current
+// roster and liveness, replay the unacked tail in order (nothing new can be
+// written while p.mu is held, so replay precedes all fresh traffic), then
+// release waiting Delivers.
+func (p *remotePeer) attach(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wasConnected := p.conn != nil
+	if wasConnected {
+		p.conn.Close()
+	}
+	p.conn = c
+	nodes := p.hub.n.Nodes()
+	body := binary.AppendUvarint(nil, uint64(len(nodes)))
+	for _, name := range nodes {
+		body = appendString(body, name)
+		if p.hub.n.Alive(name) {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+	}
+	p.writeFrameLocked(frameWelcome, body)
+	p.nd.mu.Lock()
+	pending := append([]Message(nil), p.nd.unacked...)
+	p.nd.mu.Unlock()
+	for _, m := range pending {
+		framed, err := appendMessageFrame(p.scratch[:0], m)
+		if err != nil {
+			continue
+		}
+		p.scratch = framed
+		if _, err := p.conn.Write(framed); err != nil {
+			p.conn.Close()
+			break
+		}
+	}
+	if !wasConnected {
+		close(p.claimed)
+	}
+}
+
+// detach clears the connection if it is still the current one. Liveness is
+// not touched: an unexpected disconnect (a killed process) is announced by
+// whoever killed it — the transport only knows the pipe broke.
+func (p *remotePeer) detach(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+		p.claimed = make(chan struct{})
+	}
+	p.mu.Unlock()
+}
+
+// ack retires the oldest unacked delivery: the child has fully processed it
+// (its follow-up sends precede the ACK on the wire, so they are already
+// routed). The parked adjustment and the down decision share the node lock
+// with Crash/Recover, keeping the parked invariant — every queued or unacked
+// message of a down node is parked, nothing else — exact under races.
+func (p *remotePeer) ack() {
+	p.nd.mu.Lock()
+	if len(p.nd.unacked) == 0 {
+		p.nd.mu.Unlock()
+		return
+	}
+	m := p.nd.unacked[0]
+	copy(p.nd.unacked, p.nd.unacked[1:])
+	p.nd.unacked[len(p.nd.unacked)-1] = Message{}
+	p.nd.unacked = p.nd.unacked[:len(p.nd.unacked)-1]
+	down := !p.nd.up.Load()
+	p.nd.mu.Unlock()
+	if down {
+		p.nd.net.parked.Add(-1)
+	}
+	p.nd.net.decInflight()
+	if env, ok := m.Payload.(*Envelope); ok && m.Kind == KindEnvelope {
+		env.Release()
+	}
+}
+
+// appendMessageFrame appends a complete MSG frame (header + body) to dst.
+func appendMessageFrame(dst []byte, m Message) ([]byte, error) {
+	dst = append(dst, 0, 0, 0, 0, frameMsg)
+	body, err := appendMessage(dst, m)
+	if err != nil {
+		return nil, err
+	}
+	n := len(body) - 4
+	body[0], body[1], body[2], body[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return body, nil
+}
+
+func appendExec(dst []byte, ev ExecEvent) []byte {
+	dst = append(dst, ev.Phase)
+	dst = appendString(dst, ev.Workflow)
+	dst = appendString(dst, ev.Step)
+	return binary.AppendUvarint(dst, uint64(ev.Instance))
+}
+
+func decodeExec(body []byte) (ExecEvent, error) {
+	var ev ExecEvent
+	if len(body) < 1 {
+		return ev, cerrors.E(cerrors.CodeFrameTruncated, cerrors.PhaseDecode, cerrors.ErrWire, nil, "empty exec body")
+	}
+	ev.Phase = body[0]
+	rest := body[1:]
+	var err error
+	if ev.Workflow, rest, err = readString(rest); err != nil {
+		return ev, err
+	}
+	if ev.Step, rest, err = readString(rest); err != nil {
+		return ev, err
+	}
+	id, _, err := readUvarint(rest)
+	if err != nil {
+		return ev, err
+	}
+	ev.Instance = int(id)
+	return ev, nil
+}
+
+// ---------------------------------------------------------------------------
+// Child side
+
+// ChildConn is the agent-process side of the hub protocol: one connection
+// that claims this process's node name and then multiplexes deliveries in and
+// sends/acks/exec-events out. Writes are safe for concurrent use (forwarder
+// goroutines and the delivery loop share the connection).
+type ChildConn struct {
+	conn net.Conn
+	name string
+
+	wmu     sync.Mutex
+	scratch []byte
+
+	amu   sync.Mutex
+	alive map[string]bool
+}
+
+// DialHub connects to a hub and claims name.
+func DialHub(network, addr, name string) (*ChildConn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, cerrors.E(cerrors.CodeDialRefused, cerrors.PhaseDial, cerrors.ErrWire, err, "dial hub %s %s", network, addr)
+	}
+	cc := &ChildConn{conn: c, name: name, alive: make(map[string]bool)}
+	cc.wmu.Lock()
+	cc.scratch = appendFrame(cc.scratch[:0], frameHello, appendString(nil, name))
+	_, err = c.Write(cc.scratch)
+	cc.wmu.Unlock()
+	if err != nil {
+		c.Close()
+		return nil, cerrors.E(cerrors.CodeDialRefused, cerrors.PhaseDial, cerrors.ErrWire, err, "hello %s", name)
+	}
+	return cc, nil
+}
+
+// Alive reports the hub-announced liveness of a node. The child's own name is
+// always alive; nodes the hub has not mentioned yet default to alive (they
+// are registered and up until a crash is announced).
+func (c *ChildConn) Alive(name string) bool {
+	if name == c.name {
+		return true
+	}
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	up, known := c.alive[name]
+	return !known || up
+}
+
+// SendMessage forwards one of this process's outbound sends to the hub,
+// where it re-enters the authoritative network.
+func (c *ChildConn) SendMessage(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	framed, err := appendMessageFrame(c.scratch[:0], m)
+	if err != nil {
+		return err
+	}
+	c.scratch = framed
+	_, err = c.conn.Write(framed)
+	return err
+}
+
+// Exec reports a program-execution event to the hub's invariant checker.
+func (c *ChildConn) Exec(ev ExecEvent) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.scratch = appendFrame(c.scratch[:0], frameExec, appendExec(nil, ev))
+	_, err := c.conn.Write(c.scratch)
+	return err
+}
+
+func (c *ChildConn) writeAck() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.scratch = appendFrame(c.scratch[:0], frameAck, nil)
+	_, err := c.conn.Write(c.scratch)
+	return err
+}
+
+// Close tears the connection down (ends Serve).
+func (c *ChildConn) Close() error { return c.conn.Close() }
+
+// Serve runs the child's receive loop until the connection closes: deliver
+// is called for every incoming message and must return only when the message
+// is fully processed — including every follow-up send the processing caused,
+// issued through SendMessage so they precede the automatic ACK on the wire.
+// That ordering is what makes the hub's quiescence accounting exact across
+// the process boundary. onLiveness (optional) observes hub announcements
+// after the internal liveness map (serving Alive) is updated. A nil error
+// means the hub closed the connection cleanly.
+func (c *ChildConn) Serve(deliver func(Message) error, onLiveness func(name string, up bool)) error {
+	var buf []byte
+	for {
+		typ, body, nbuf, err := readFrame(c.conn, buf)
+		buf = nbuf
+		if err != nil {
+			c.conn.Close()
+			if err == io.EOF || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case frameMsg:
+			m, err := decodeMessage(body)
+			if err != nil {
+				c.conn.Close()
+				return err
+			}
+			if err := deliver(m); err != nil {
+				c.conn.Close()
+				return err
+			}
+			if err := c.writeAck(); err != nil {
+				c.conn.Close()
+				return err
+			}
+		case frameWelcome:
+			count, rest, err := readUvarint(body)
+			if err != nil {
+				c.conn.Close()
+				return err
+			}
+			c.amu.Lock()
+			for i := uint64(0); i < count && len(rest) > 0; i++ {
+				var name string
+				if name, rest, err = readString(rest); err != nil {
+					break
+				}
+				if len(rest) < 1 {
+					break
+				}
+				c.alive[name] = rest[0] == 1
+				rest = rest[1:]
+			}
+			c.amu.Unlock()
+		case frameCrash, frameRecover:
+			name, _, err := readString(body)
+			if err != nil {
+				c.conn.Close()
+				return err
+			}
+			up := typ == frameRecover
+			c.amu.Lock()
+			c.alive[name] = up
+			c.amu.Unlock()
+			if onLiveness != nil {
+				onLiveness(name, up)
+			}
+		}
+	}
+}

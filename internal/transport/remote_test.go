@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeChild runs a minimal agent host against a hub: every delivery is
+// acknowledged (after optional processing) and recorded.
+type fakeChild struct {
+	conn *ChildConn
+	got  chan Message
+	done chan error
+}
+
+func dialChild(t *testing.T, network, addr, name string) *fakeChild {
+	t.Helper()
+	conn, err := DialHub(network, addr, name)
+	if err != nil {
+		t.Fatalf("DialHub(%s): %v", name, err)
+	}
+	fc := &fakeChild{conn: conn, got: make(chan Message, 64), done: make(chan error, 1)}
+	go func() {
+		fc.done <- conn.Serve(func(m Message) error {
+			fc.got <- m
+			return nil
+		}, nil)
+	}()
+	return fc
+}
+
+func (fc *fakeChild) expect(t *testing.T, kind string) Message {
+	t.Helper()
+	select {
+	case m := <-fc.got:
+		if m.Kind != kind {
+			t.Fatalf("child received kind %q, want %q", m.Kind, kind)
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatalf("child never received %q", kind)
+		return Message{}
+	}
+}
+
+func newHub(t *testing.T) (*Network, *RemoteHub) {
+	t.Helper()
+	n := NewNetwork(NetworkConfig{})
+	hub, err := NewRemoteHub(n, "unix", "", nil)
+	if err != nil {
+		n.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, hub
+}
+
+// TestRemoteHubRoundTrip sends hub->child and child->hub and verifies the
+// hub's quiescence accounting retires deliveries only on ACK.
+func TestRemoteHubRoundTrip(t *testing.T) {
+	n, hub := newHub(t)
+	if err := hub.RegisterRemote("a"); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := dialChild(t, "unix", hub.Addr(), "a")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hub.WaitConnected(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.Send(Message{From: "b", To: "a", Kind: "ping", Payload: wirePayload{B: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	m := child.expect(t, "ping")
+	if p, ok := m.Payload.(wirePayload); !ok || p.B != 7 {
+		t.Fatalf("payload = %#v", m.Payload)
+	}
+	if err := n.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce after ack: %v", err)
+	}
+
+	// Child -> hub: the forwarded send re-enters the network and reaches a
+	// local endpoint.
+	if err := child.conn.SendMessage(Message{From: "a", To: "b", Kind: "pong", Payload: wirePayload{B: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ep.Inbox():
+		if m.Kind != "pong" {
+			t.Fatalf("kind = %q", m.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hub-side endpoint never received the forwarded send")
+	}
+}
+
+// TestRemoteHubReplay crashes a disconnected remote node with traffic in
+// flight, then reconnects: the parked messages must replay in order, exactly
+// once, and quiescence must settle.
+func TestRemoteHubReplay(t *testing.T) {
+	n, hub := newHub(t)
+	if err := hub.RegisterRemote("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	first := dialChild(t, "unix", hub.Addr(), "a")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hub.WaitConnected(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver one message the child processes but whose "process" then dies
+	// before more arrive: kill the connection without acking further.
+	if err := n.Send(Message{From: "b", To: "a", Kind: "k0", Payload: wirePayload{B: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	first.expect(t, "k0")
+	if err := n.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	first.conn.Close()
+	<-first.done
+
+	// Crash the node, then send while it is down and disconnected: traffic
+	// parks (stalled network, not a hang).
+	n.Crash("a")
+	for i := 1; i <= 3; i++ {
+		if err := n.Send(Message{From: "b", To: "a", Kind: "k", Payload: wirePayload{B: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stalled, err := n.AwaitStall(ctx)
+	if err != nil {
+		t.Fatalf("AwaitStall while down: %v", err)
+	}
+	if !stalled {
+		t.Fatal("network should be stalled with parked traffic, not idle")
+	}
+
+	// Recover and reconnect: the parked messages replay in order.
+	n.Recover("a")
+	second := dialChild(t, "unix", hub.Addr(), "a")
+	for i := 1; i <= 3; i++ {
+		m := second.expect(t, "k")
+		if p := m.Payload.(wirePayload); p.B != i {
+			t.Fatalf("replayed message %d has payload %d", i, p.B)
+		}
+	}
+	if err := n.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce after replay: %v", err)
+	}
+}
+
+// TestRemoteHubAnnounce verifies liveness broadcasts reach children and feed
+// their Alive view.
+func TestRemoteHubAnnounce(t *testing.T) {
+	_, hub := newHub(t)
+	for _, name := range []string{"a", "b"} {
+		if err := hub.RegisterRemote(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	child := dialChild(t, "unix", hub.Addr(), "a")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hub.WaitConnected(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !child.conn.Alive("b") {
+		t.Fatal("b should default to alive")
+	}
+	hub.Announce("b", false)
+	deadline := time.Now().Add(5 * time.Second)
+	for child.conn.Alive("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("crash announcement never reached the child")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hub.Announce("b", true)
+	for !child.conn.Alive("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("recover announcement never reached the child")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRemoteDeliverFailsFastWhenDown pins the stall-detection contract: a
+// Deliver to a down, disconnected node must error out (parking the message)
+// rather than block, so inflight==parked and stall detection stays sharp.
+func TestRemoteDeliverFailsFastWhenDown(t *testing.T) {
+	n, hub := newHub(t)
+	if err := hub.RegisterRemote("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("a")
+	if err := n.Send(Message{From: "b", To: "a", Kind: "k", Payload: wirePayload{B: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stalled, err := n.AwaitStall(ctx)
+	if err != nil {
+		t.Fatalf("AwaitStall: %v (Deliver must not block while the node is down)", err)
+	}
+	if !stalled {
+		t.Fatal("want stalled network")
+	}
+}

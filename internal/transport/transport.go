@@ -123,15 +123,23 @@ type queued struct {
 
 type node struct {
 	net       *Network
-	ep        *Endpoint
+	ep        *Endpoint // nil for remote nodes (hub side of a process boundary)
 	up        atomic.Bool
 	manualAck atomic.Bool
+	// link, when non-nil, is the wire backend's send side for this node: the
+	// pump delivers through it instead of handing straight to ep.ch.
+	link Link
 
 	mu     sync.Mutex
 	queue  []queued
 	notify chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
+	// unacked holds messages a remote node's link has written to its peer
+	// process but the peer has not acknowledged yet. They are still in
+	// flight; a reconnecting peer gets them replayed (at-least-once), and
+	// crash/recover counts them with the parked queue.
+	unacked []Message
 }
 
 // pump drains the node's mailbox into its inbox channel. Each wakeup swaps
@@ -145,7 +153,12 @@ type node struct {
 // survives injected latency.
 func (nd *node) pump() {
 	defer close(nd.done)
-	defer close(nd.ep.ch)
+	if nd.ep != nil && nd.link == nil {
+		// In-process delivery: the pump is the only sender on ep.ch. With a
+		// wire backend the sink sends on ep.ch from the backend's reader, so
+		// Network.Close closes it after the backend has been torn down.
+		defer close(nd.ep.ch)
+	}
 	var batch []queued
 	for {
 		nd.mu.Lock()
@@ -179,6 +192,21 @@ func (nd *node) pump() {
 				}
 				heldFrom[q.m.From] = true
 				held = append(held, q)
+				continue
+			}
+			if nd.link != nil {
+				// Wire delivery: the frame crosses the backend and the sink
+				// (for local nodes) or the peer's ack (for remote nodes)
+				// retires it from the in-flight count. A delivery failure is
+				// treated like a crash cut-off: the message and the batch
+				// remainder go back to the queue front for replay.
+				if err := nd.deliverWire(q.m); err != nil {
+					if nd.net.closed.Load() {
+						return
+					}
+					crashedAt = i
+					break
+				}
 				continue
 			}
 			select {
@@ -223,14 +251,39 @@ func (nd *node) wake() {
 	}
 }
 
+// deliverWire carries one message across the node's wire link.
+func (nd *node) deliverWire(m Message) error { return nd.link.Deliver(m) }
+
+// consume is the wire sink's handoff into the endpoint: it blocks until the
+// consumer takes the message (or the node stops) and then retires it from
+// the in-flight count — the same accounting as the in-process delivery
+// branch, so Quiesce stays exact across any backend.
+func (nd *node) consume(m Message) error {
+	select {
+	case nd.ep.ch <- m:
+		if !nd.manualAck.Load() {
+			nd.net.decInflight()
+		}
+		return nil
+	case <-nd.stop:
+		return ErrClosed
+	}
+}
+
 // Network connects named nodes.
 type Network struct {
 	// mu serializes registration and close; sends never take it.
 	mu        sync.Mutex
 	nodes     atomic.Pointer[map[string]*node]
 	collector *metrics.Collector
-	closed    atomic.Bool
-	closedCh  chan struct{}
+	// wire is the byte-transport backend; nil selects the in-process
+	// channel path (see NetworkConfig.Wire).
+	wire Wire
+	// backends lists additional wire machinery (a RemoteHub) whose Close
+	// must interleave with shutdown to unblock in-flight deliveries.
+	backends []interface{ Close() error }
+	closed   atomic.Bool
+	closedCh chan struct{}
 	// trace, when non-nil, receives a copy of every sent message (for
 	// protocol-trace tests and the crewsim fig4 demo). Captured atomically so
 	// installation can race with traffic.
@@ -272,13 +325,14 @@ var ErrUnknownNode = errors.New("transport: unknown node")
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("transport: closed")
 
-// New returns an empty network counting messages into collector (which may
-// be nil to disable counting).
+// New returns an empty in-process network counting messages into collector
+// (which may be nil to disable counting).
+//
+// Deprecated: use NewNetwork, which selects a wire backend. New bypasses
+// backend selection and always builds the in-process network; it is kept for
+// tests and old call sites only.
 func New(collector *metrics.Collector) *Network {
-	n := &Network{collector: collector, closedCh: make(chan struct{})}
-	empty := make(map[string]*node)
-	n.nodes.Store(&empty)
-	return n
+	return NewNetwork(NetworkConfig{Collector: collector})
 }
 
 // Trace installs a callback invoked (synchronously, under no lock) with a
@@ -313,7 +367,9 @@ func (n *Network) lookup(name string) *node {
 	return (*n.nodes.Load())[name]
 }
 
-// Register creates a node and returns its endpoint.
+// Register creates a node and returns its endpoint. With a wire backend
+// configured, the node's deliveries are bound through the backend before any
+// message can be accepted for it.
 func (n *Network) Register(name string) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -332,6 +388,47 @@ func (n *Network) Register(name string) (*Endpoint, error) {
 	}
 	nd.up.Store(true)
 	nd.ep = &Endpoint{name: name, ch: make(chan Message), nd: nd}
+	if n.wire != nil {
+		link, err := n.wire.Listen(name, nd.consume)
+		if err != nil {
+			return nil, fmt.Errorf("transport: wire listen %q: %w", name, err)
+		}
+		nd.link = link
+	}
+	n.install(name, nd, old)
+	return nd.ep, nil
+}
+
+// registerRemote creates a node whose consumer lives in another OS process:
+// it has no local endpoint, and its pump delivers through link (a RemoteHub
+// per-peer link). The front half treats it like any other node — counting,
+// fault policy, parking, quiescence — which is what makes hub-side
+// accounting authoritative across process boundaries.
+func (n *Network) registerRemote(name string, mkLink func(*node) Link) (*node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	old := *n.nodes.Load()
+	if _, dup := old[name]; dup {
+		return nil, fmt.Errorf("transport: node %q already registered", name)
+	}
+	nd := &node{
+		net:    n,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	nd.up.Store(true)
+	nd.link = mkLink(nd)
+	n.install(name, nd, old)
+	return nd, nil
+}
+
+// install publishes a node in the copy-on-write table and starts its pump.
+// Callers hold n.mu and pass the table snapshot they duplicate-checked.
+func (n *Network) install(name string, nd *node, old map[string]*node) {
 	next := make(map[string]*node, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -339,7 +436,13 @@ func (n *Network) Register(name string) (*Endpoint, error) {
 	next[name] = nd
 	n.nodes.Store(&next)
 	go nd.pump()
-	return nd.ep, nil
+}
+
+// addBackend registers extra wire machinery to close during shutdown.
+func (n *Network) addBackend(c interface{ Close() error }) {
+	n.mu.Lock()
+	n.backends = append(n.backends, c)
+	n.mu.Unlock()
 }
 
 // MustRegister is Register panicking on error, for deployment code whose
@@ -533,7 +636,9 @@ func (n *Network) Crash(name string) bool {
 	nd.mu.Lock()
 	if nd.up.Load() {
 		nd.up.Store(false)
-		n.parked.Add(int64(len(nd.queue)))
+		// A remote node's unacked messages are in flight at the dead peer;
+		// they park with the queue and will be replayed on reclaim.
+		n.parked.Add(int64(len(nd.queue) + len(nd.unacked)))
 	}
 	nd.mu.Unlock()
 	n.maybeNotifyQuiet()
@@ -549,7 +654,7 @@ func (n *Network) Recover(name string) bool {
 	nd.mu.Lock()
 	if !nd.up.Load() {
 		nd.up.Store(true)
-		n.parked.Add(int64(-len(nd.queue)))
+		n.parked.Add(int64(-(len(nd.queue) + len(nd.unacked))))
 	}
 	nd.mu.Unlock()
 	n.maybeNotifyQuiet()
@@ -582,6 +687,12 @@ func (n *Network) Nodes() []string {
 // Close shuts the network down: pumps stop and every endpoint's inbox is
 // closed after its pump exits. Pending undelivered messages are dropped and
 // any Quiesce waiters are released with ErrClosed.
+//
+// With a wire backend the teardown order matters: node stops are signalled
+// first (unblocking sinks parked on full endpoint channels), then the backend
+// is closed — which fails in-flight Delivers and joins every reader
+// goroutine — and only then, with no sender left, are the wire endpoints'
+// inbox channels closed.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed.Load() {
@@ -591,11 +702,25 @@ func (n *Network) Close() {
 	n.closed.Store(true)
 	close(n.closedCh)
 	nodes := *n.nodes.Load()
+	backends := n.backends
 	n.mu.Unlock()
 	for _, nd := range nodes {
 		close(nd.stop)
 	}
+	for _, b := range backends {
+		b.Close()
+	}
+	if n.wire != nil {
+		n.wire.Close()
+	}
 	for _, nd := range nodes {
 		<-nd.done
+	}
+	if n.wire != nil {
+		for _, nd := range nodes {
+			if nd.link != nil && nd.ep != nil {
+				close(nd.ep.ch)
+			}
+		}
 	}
 }

@@ -143,6 +143,17 @@ type Instance struct {
 	Aborting bool
 	// Parent links a nested workflow instance to its parent step.
 	Parent *ParentRef
+	// Epoch and Coordinator checkpoint the owning replica's rollback epoch
+	// and coordination-agent election, so an agent restarted from its AGDB
+	// (multi-process recovery) resumes with the same epoch discipline and
+	// routing instead of rediscovering them from traffic.
+	Epoch       int
+	Coordinator string
+	// NotifyTo names the front-end node to notify when the instance reaches a
+	// terminal status. Only set on the coordination replica of deployments
+	// whose front end lives across a process boundary; empty means completion
+	// is published through the shared in-process terminal registry alone.
+	NotifyTo string
 
 	// schema, when attached, serves interned event-name and data-name strings
 	// so record-keeping does not rebuild them on every post. Optional (nil
@@ -391,6 +402,9 @@ func (ins *Instance) Clone() *Instance {
 		ExecOrder: append([]model.StepID(nil), ins.ExecOrder...),
 		Aborting:  ins.Aborting,
 	}
+	c.Epoch = ins.Epoch
+	c.Coordinator = ins.Coordinator
+	c.NotifyTo = ins.NotifyTo
 	for k, v := range ins.Data {
 		c.Data[k] = v
 	}
@@ -430,6 +444,9 @@ type instanceJSON struct {
 	ExecOrder []model.StepID               `json:"execOrder"`
 	Aborting  bool                         `json:"aborting,omitempty"`
 	Parent    *ParentRef                   `json:"parent,omitempty"`
+	Epoch     int                          `json:"epoch,omitempty"`
+	Coord     string                       `json:"coordinator,omitempty"`
+	NotifyTo  string                       `json:"notifyTo,omitempty"`
 }
 
 func (ins *Instance) toJSON() instanceJSON {
@@ -443,20 +460,26 @@ func (ins *Instance) toJSON() instanceJSON {
 		ExecOrder: ins.ExecOrder,
 		Aborting:  ins.Aborting,
 		Parent:    ins.Parent,
+		Epoch:     ins.Epoch,
+		Coord:     ins.Coordinator,
+		NotifyTo:  ins.NotifyTo,
 	}
 }
 
 func fromJSON(j instanceJSON) *Instance {
 	ins := &Instance{
-		Workflow:  j.Workflow,
-		ID:        j.ID,
-		Status:    j.Status,
-		Data:      j.Data,
-		Events:    event.ImportTable(j.Events),
-		Steps:     j.Steps,
-		ExecOrder: j.ExecOrder,
-		Aborting:  j.Aborting,
-		Parent:    j.Parent,
+		Workflow:    j.Workflow,
+		ID:          j.ID,
+		Status:      j.Status,
+		Data:        j.Data,
+		Events:      event.ImportTable(j.Events),
+		Steps:       j.Steps,
+		ExecOrder:   j.ExecOrder,
+		Aborting:    j.Aborting,
+		Parent:      j.Parent,
+		Epoch:       j.Epoch,
+		Coordinator: j.Coord,
+		NotifyTo:    j.NotifyTo,
 	}
 	if ins.Data == nil {
 		ins.Data = make(map[string]expr.Value)

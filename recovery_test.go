@@ -96,6 +96,7 @@ func TestCrashDuringRollback(t *testing.T) {
 				Logf:         t.Logf,
 			}
 			tc.conf(&cfg)
+			applyWireEnv(t, &cfg)
 			s, err := crew.NewSystem(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -168,6 +169,7 @@ func TestCrashDuringOCR(t *testing.T) {
 				Logf:         t.Logf,
 			}
 			tc.conf(&cfg)
+			applyWireEnv(t, &cfg)
 			s, err := crew.NewSystem(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -320,6 +322,7 @@ func TestCrashMidBatchUnderLoad(t *testing.T) {
 				Logf:         t.Logf,
 			}
 			tc.conf(&cfg)
+			applyWireEnv(t, &cfg)
 			s, err := crew.NewSystem(cfg)
 			if err != nil {
 				t.Fatal(err)

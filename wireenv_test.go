@@ -1,0 +1,24 @@
+package crew_test
+
+import (
+	"os"
+	"testing"
+
+	"crew"
+)
+
+// applyWireEnv routes a test deployment through the wire backend named by the
+// CREW_WIRE environment variable ("inproc", "unix" or "tcp"; empty keeps the
+// in-process default). CI runs the recovery suite once per backend, so the
+// crash/park/replay contract is exercised across real sockets too.
+func applyWireEnv(t *testing.T, cfg *crew.Config) {
+	t.Helper()
+	backend := os.Getenv("CREW_WIRE")
+	if backend == "" {
+		return
+	}
+	cfg.Transport = crew.TransportConfig{Backend: backend}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("CREW_WIRE=%q: %v", backend, err)
+	}
+}
