@@ -1,0 +1,18 @@
+package event
+
+import "testing"
+
+// TestPostAllocBudget guards the event-table hot path the hotalloc analyzer
+// gates (//crew:hotpath on Post): re-posting an existing event — the
+// steady-state shape, since loops re-post step.done every iteration — must
+// not allocate.
+func TestPostAllocBudget(t *testing.T) {
+	tab := NewTable()
+	tab.Post("step.done") // inserts the entry
+	avg := testing.AllocsPerRun(500, func() {
+		tab.Post("step.done")
+	})
+	if avg > 0 {
+		t.Errorf("Post allocates %.2f/op on an existing entry, budget 0", avg)
+	}
+}

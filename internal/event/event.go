@@ -155,6 +155,8 @@ func (t *Table) SetObserver(fn Observer) { t.obs = fn }
 
 // Post records an occurrence of the named event and returns true if this
 // changed the table (the event was previously absent or invalidated).
+//
+//crew:hotpath
 func (t *Table) Post(name string) bool {
 	e := t.entries[name]
 	changed := !e.valid

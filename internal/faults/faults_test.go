@@ -114,7 +114,7 @@ func recvOne(t *testing.T, ep *transport.Endpoint) transport.Message {
 
 func TestInjectorAppliesSchedule(t *testing.T) {
 	col := metrics.NewCollector()
-	net := transport.New(col)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: col})
 	defer net.Close()
 	net.MustRegister("a")
 	b := net.MustRegister("b")
@@ -164,7 +164,7 @@ func TestInjectorAppliesSchedule(t *testing.T) {
 
 func TestInjectorLinkDropChargesRetransmits(t *testing.T) {
 	col := metrics.NewCollector()
-	net := transport.New(col)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: col})
 	defer net.Close()
 	net.MustRegister("a")
 	b := net.MustRegister("b")
@@ -195,7 +195,7 @@ func TestInjectorLinkDropChargesRetransmits(t *testing.T) {
 // messages parked; the backstop must force the recovery out of schedule.
 func TestInjectorStallBackstop(t *testing.T) {
 	col := metrics.NewCollector()
-	net := transport.New(col)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: col})
 	defer net.Close()
 	net.MustRegister("a")
 	b := net.MustRegister("b")

@@ -1,0 +1,35 @@
+package itable
+
+import (
+	"testing"
+
+	"crew/internal/wfdb"
+)
+
+// TestHotReadAllocBudgets guards the sharded-table read paths the hotalloc
+// analyzer gates (//crew:hotpath on shardOf, Map.Get, Terminal.Status):
+// lookups run on every packet an agent routes, and must not allocate.
+func TestHotReadAllocBudgets(t *testing.T) {
+	var m Map[int]
+	m.Put(Ref{"wf", 7}, 42)
+	var term Terminal
+	term.Complete("wf", 7, wfdb.Committed)
+
+	avg := testing.AllocsPerRun(500, func() {
+		if v, ok := m.Get(Ref{"wf", 7}); !ok || v != 42 {
+			t.Error("Get lost the entry")
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Map.Get allocates %.2f/op, budget 0", avg)
+	}
+
+	avg = testing.AllocsPerRun(500, func() {
+		if st, ok := term.Status("wf", 7); !ok || st != wfdb.Committed {
+			t.Error("Status lost the record")
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Terminal.Status allocates %.2f/op, budget 0", avg)
+	}
+}

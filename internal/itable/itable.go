@@ -33,6 +33,7 @@ type Ref struct {
 // sequential ids of one workflow across all shards and keeps the residue
 // class of ids within a shard fixed — the property Terminal's dense status
 // vectors index by.
+//crew:hotpath
 func shardOf(workflow string, id int) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(workflow); i++ {
@@ -54,6 +55,8 @@ type mapShard[V any] struct {
 }
 
 // Get returns the value stored for ref, if any.
+//
+//crew:hotpath
 func (t *Map[V]) Get(ref Ref) (V, bool) {
 	s := &t.shards[shardOf(ref.Workflow, ref.ID)]
 	s.mu.RLock()
@@ -185,6 +188,8 @@ var waiterPool = sync.Pool{New: func() any {
 }}
 
 // Status reports the recorded terminal status of the instance, if any.
+//
+//crew:hotpath
 func (t *Terminal) Status(workflow string, id int) (wfdb.Status, bool) {
 	s := &t.shards[shardOf(workflow, id)]
 	s.mu.Lock()
@@ -194,6 +199,8 @@ func (t *Terminal) Status(workflow string, id int) (wfdb.Status, bool) {
 }
 
 // status reads the shard's record for (workflow, id). Caller holds s.mu.
+//
+//crew:hotpath
 func (s *termShard) status(workflow string, id int) (wfdb.Status, bool) {
 	if id > 0 && id < denseLimit {
 		if vec := s.dense[workflow]; id>>6 < len(vec) {

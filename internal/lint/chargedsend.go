@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -9,50 +10,31 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-// sendEntryPoints are the transport layer's physical-send entry points. A
-// message entering any of them is counted into the metrics collector under
-// its Mechanism class, which is exactly the quantity the paper's Tables 4-6
-// compare — so a call site that does not deliberately set the Mechanism is
-// silently miscounting traffic under Normal.
-var sendEntryPoints = map[methodKey]int{
-	// value is the index of the transport.Message argument; -1 when the
-	// call carries no Message literal at all (envelopes).
-	{pkg: transportPath, recv: "Handle", name: "Send"}:      0,
-	{pkg: transportPath, recv: "Network", name: "Send"}:     0,
-	{pkg: transportPath, recv: "Handle", name: "SendBatch"}: -1,
-	{pkg: transportPath, recv: "Batcher", name: "Add"}:      1,
-	// ChildConn.SendMessage is the wire primitive that forwards a message
-	// into the hub network; the hub charges it there, so the forwarded
-	// message must already carry its Mechanism (forwarding funnels that
-	// relay pre-charged traffic annotate //crew:nocharge).
-	{pkg: transportPath, recv: "ChildConn", name: "SendMessage"}: 0,
-}
-
-// wireDeliverCall reports a dynamic call of transport.Link.Deliver — the
-// backend send primitive below the charging front half. StaticCallee cannot
-// resolve interface methods, so the receiver's static type is matched
-// instead.
-func wireDeliverCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Deliver" {
-		return false
-	}
-	t := pass.TypesInfo.TypeOf(sel.X)
-	return t != nil && isNamedType(t, transportPath, "Link")
-}
-
 // ChargedSend enforces the msgs/load accounting invariant statically: every
-// transport Send/SendBatch/Batcher.Add call site outside the transport
-// package itself must either pass a transport.Message whose Mechanism field
-// is set explicitly (directly in a composite literal, or via a local
-// variable whose construction sets it) or carry a //crew:nocharge <reason>
-// annotation. The per-component send() wrappers in central, parallel, and
-// distributed are the intended charging funnels; this analyzer is what
-// keeps new call sites from bypassing them.
+// message entering the transport must carry an explicitly chosen Mechanism
+// (the quantity the paper's Tables 4-6 compare), and no call site may slip
+// below the charging front half.
+//
+// Which calls count as sends comes from the summary fact layer rather than
+// a hardcoded table: the transport package's entry points (Handle.Send,
+// Network.Send, Batcher.Add, ChildConn.SendMessage, Handle.SendBatch,
+// Link.Deliver) are seeded there, and the obligation propagates through
+// wrapper functions — a function that forwards its own transport.Message
+// parameter into a send without charging it exports a "sends parameter i"
+// fact, so its callers are checked exactly like direct call sites, across
+// package boundaries and interface dispatch.
+//
+// A call site is clean when it passes a Message that provably sets
+// Mechanism (composite literal with the field, or a local whose
+// construction/assignment sets it), forwards its own parameter onward
+// (shifting the obligation to its callers), or carries a
+// //crew:nocharge <reason> annotation. The per-component send() wrappers in
+// central, parallel, and distributed are the intended charging funnels;
+// this analyzer is what keeps new call sites from bypassing them.
 var ChargedSend = &analysis.Analyzer{
 	Name:     "chargedsend",
 	Doc:      "transport sends must set Message.Mechanism explicitly or be annotated //crew:nocharge",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Summaries},
 	Run:      runChargedSend,
 }
 
@@ -62,42 +44,84 @@ func runChargedSend(pass *analysis.Pass) (any, error) {
 		// tests exercise the raw entry points by definition.
 		return nil, nil
 	}
+	ix := pass.ResultOf[Summaries].(*SummaryIndex)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
 			return false
 		}
 		call := n.(*ast.CallExpr)
-		k, ok := calleeKey(pass.TypesInfo, call)
-		if !ok {
-			// Link.Deliver sits BELOW the charging front half: a message
-			// entering it directly was never counted, never sequenced and
-			// never tracked for park/replay, whatever its Mechanism says.
-			if wireDeliverCall(pass, call) && !exempted(pass, call.Pos(), "chargedsend") {
-				pass.Reportf(call.Pos(), "uncharged transport send: Link.Deliver bypasses the Network front half (counting, fault policy, park/replay) — send through Network.Send or a Handle (annotate //crew:nocharge <reason> if deliberate)")
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		ff := ix.FactsOf(callee)
+		what := funcDisplayName(callee)
+		switch {
+		case ff.SendsRaw:
+			// Link.Deliver (or a wrapper reaching it) sits BELOW the
+			// charging front half: a message entering it directly was never
+			// counted, never sequenced and never tracked for park/replay,
+			// whatever its Mechanism says.
+			if !exempted(pass, call.Pos(), "chargedsend") {
+				pass.Reportf(call.Pos(), "uncharged transport send: %s bypasses the Network front half (counting, fault policy, park/replay) — send through Network.Send or a Handle (annotate //crew:nocharge <reason> if deliberate)", what)
 			}
-			return true
-		}
-		argIdx, hit := sendEntryPoints[k]
-		if !hit {
-			return true
-		}
-		if exempted(pass, call.Pos(), "chargedsend") {
-			return true
-		}
-		if argIdx >= 0 && argIdx < len(call.Args) &&
-			messageCharged(pass, enclosingFuncBody(stack), call.Args[argIdx]) {
-			return true
-		}
-		what := k.recv + "." + k.name
-		if argIdx < 0 {
-			pass.Reportf(call.Pos(), "uncharged transport send: %s bypasses the Batcher that charges each logical message's Mechanism (annotate //crew:nocharge <reason> if deliberate)", what)
-		} else {
+		case ff.BypassBatch:
+			if !exempted(pass, call.Pos(), "chargedsend") {
+				pass.Reportf(call.Pos(), "uncharged transport send: %s bypasses the Batcher that charges each logical message's Mechanism (annotate //crew:nocharge <reason> if deliberate)", what)
+			}
+		case ff.SendsParam != 0:
+			idx := int(ff.SendsParam) - 1
+			if idx >= len(call.Args) || exempted(pass, call.Pos(), "chargedsend") {
+				return true
+			}
+			arg := call.Args[idx]
+			if messageCharged(pass, enclosingFuncBody(stack), arg) {
+				return true
+			}
+			if forwardsOwnParam(pass, ix, stack, arg) {
+				// The enclosing function re-exports the obligation as its
+				// own "sends parameter" fact; its callers are checked.
+				return true
+			}
 			pass.Reportf(call.Pos(), "uncharged transport send: %s call does not set Message.Mechanism explicitly, so the message is miscounted under Normal (set the field or annotate //crew:nocharge <reason>)", what)
 		}
 		return true
 	})
 	return nil, nil
+}
+
+// forwardsOwnParam reports whether arg is a parameter of the enclosing
+// function declaration AND that function carries a SendsParam fact for it —
+// i.e. the charging obligation demonstrably shifted to the callers. A
+// parameter of a function literal never qualifies (literals export no
+// facts, so nothing would check their callers).
+func forwardsOwnParam(pass *analysis.Pass, ix *SummaryIndex, stack []ast.Node, arg ast.Expr) bool {
+	var fd *ast.FuncDecl
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.FuncDecl:
+			fd = f
+		}
+		if fd != nil {
+			break
+		}
+	}
+	if fd == nil {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	idx := paramIndexOf(pass, sig, ast.Unparen(arg))
+	if idx < 0 {
+		return false
+	}
+	return int(ix.FactsOf(fn).SendsParam) == idx+1
 }
 
 // enclosingFuncBody returns the body of the innermost function declaration

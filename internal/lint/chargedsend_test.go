@@ -11,3 +11,10 @@ func TestChargedSendSkipsTransportItself(t *testing.T) {
 	// analyzer must not report its raw internal sends.
 	runLintTest(t, ChargedSend, "crew/internal/transport")
 }
+
+func TestChargedSendInterprocedural(t *testing.T) {
+	// Wrapper propagation: the charging obligation follows Message
+	// parameters through local wrappers, across packages (sendutil), and
+	// raw-wire taint through unannotated wrappers.
+	runLintTest(t, ChargedSend, "chargedsend_b")
+}

@@ -1,0 +1,45 @@
+package lint
+
+// deprecated flags calls to functions whose doc comment carries the
+// conventional "Deprecated:" marker. The marker is picked up by the summary
+// fact layer, so the check crosses package boundaries: deprecating an API
+// (transport.New after the NetworkConfig redesign) immediately fails lint
+// at every remaining call site instead of waiting for a reviewer to notice.
+// Deliberate uses (a compatibility shim's own tests) annotate
+// //crew:allow deprecated <reason>.
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var Deprecated = &analysis.Analyzer{
+	Name:     "deprecated",
+	Doc:      "no calls to functions documented as Deprecated:",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Summaries},
+	Run:      runDeprecated,
+}
+
+func runDeprecated(pass *analysis.Pass) (any, error) {
+	ix := pass.ResultOf[Summaries].(*SummaryIndex)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || !ix.FactsOf(callee).Deprecated {
+			return
+		}
+		if exempted(pass, call.Pos(), "deprecated") {
+			return
+		}
+		name := funcDisplayName(callee)
+		if callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+			name = callee.Pkg().Name() + "." + name
+		}
+		pass.Reportf(call.Pos(), "call to deprecated function %s: its doc comment names the replacement (or annotate //crew:allow deprecated <reason>)", name)
+	})
+	return nil, nil
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeprecated(t *testing.T) {
+	runLintTest(t, Deprecated, "deprecated_a")
+}

@@ -19,12 +19,40 @@
 //     package) emits messages, posts events, or writes the WAL — map
 //     iteration order is nondeterministic and breaks replay and benchdiff
 //     comparisons; iterate a sorted copy instead.
+//   - lockorder: global mutex-acquisition-order graph across packages;
+//     reports cycles (potential deadlocks) and acquisitions violating a
+//     declared //crew:lockrank ordering.
+//   - wireframe: wire-protocol exhaustiveness — every frame type and every
+//     RegisterPayload-registered payload must have encode, decode, and
+//     handler arms, so adding a frame without handling it is a lint error,
+//     not a runtime drop.
+//   - hotalloc: //crew:hotpath functions must be allocation-free — no map
+//     range, no fmt, no interface boxing, no escaping closure capture,
+//     directly or through anything they call.
+//   - deprecated: no calls to functions whose doc comment carries a
+//     "Deprecated:" marker (e.g. transport.New).
+//
+// The suite is interprocedural: a shared fact layer (see facts.go) exports
+// a per-function summary — may it block, may it allocate, which lock
+// classes does it acquire, does it put a message on the transport — and
+// chargedsend, locksend, lockorder, and hotalloc consume the summaries, so
+// the invariants follow invariant-relevant behavior through wrappers,
+// across package boundaries, and through interface dispatch
+// (transport.Link.Deliver is seeded) instead of pattern-matching a fixed
+// list of direct callees.
 //
 // False positives are silenced in place with an annotation comment on the
 // offending line or the line directly above it:
 //
 //	//crew:nocharge <reason>          (chargedsend only)
 //	//crew:allow <analyzer> <reason>  (any analyzer)
+//
+// Behavior that the analysis cannot see is declared where it lives:
+//
+//	//crew:blocks                 on a func or interface method: may park
+//	//crew:allocs                 on a func or interface method: allocates
+//	//crew:hotpath                on a func: must be allocation-free
+//	//crew:lockrank <n>           on a mutex field/var: acquisition rank
 //
 // The annotation must carry a non-empty reason; a bare annotation is itself
 // reported. The suite runs as a go vet tool: `go run ./cmd/crewlint ./...`.
@@ -40,13 +68,19 @@ import (
 	"golang.org/x/tools/go/types/typeutil"
 )
 
-// Analyzers is the full crewlint suite in stable presentation order.
+// Analyzers is the full crewlint suite in stable presentation order. The
+// Summaries fact analyzer is not listed: it reports nothing and runs
+// automatically as a dependency of the analyzers that consume its facts.
 var Analyzers = []*analysis.Analyzer{
 	DetClock,
 	ChargedSend,
 	LockSend,
 	ErrWrap,
 	MapIter,
+	LockOrder,
+	WireFrame,
+	HotAlloc,
+	Deprecated,
 }
 
 // transportPath is the import path of the simulated messaging layer whose
@@ -113,6 +147,17 @@ func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
 // An annotation without a reason does not exempt anything; instead it is
 // reported so stale or lazy annotations cannot accumulate.
 func exempted(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	return exemptionFor(pass, pos, analyzer, true)
+}
+
+// exemptedQuiet is exempted without the bare-annotation diagnostic: the
+// summary fact pass consults annotations at every call site, and reporting
+// belongs to the analyzers that flag the sites.
+func exemptedQuiet(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	return exemptionFor(pass, pos, analyzer, false)
+}
+
+func exemptionFor(pass *analysis.Pass, pos token.Pos, analyzer string, report bool) bool {
 	f := fileFor(pass, pos)
 	if f == nil {
 		return false
@@ -143,13 +188,26 @@ func exempted(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
 				continue
 			}
 			if reason == "" {
-				pass.Reportf(pos, "crew annotation needs a reason: %s", text)
+				if report {
+					pass.Reportf(pos, "crew annotation needs a reason: %s", text)
+				}
 				continue
 			}
 			return true
 		}
 	}
 	return false
+}
+
+// funcDisplayName renders a function for diagnostics: "Type.Name" for
+// methods (including interface methods), "Name" otherwise.
+func funcDisplayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOrPointerTo(sig.Recv().Type()); n != nil {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
 }
 
 // inTestFile reports whether pos is inside a _test.go file.

@@ -4,12 +4,20 @@ package lint
 // analysistest, which is not part of the toolchain's vendored x/tools
 // subset (see third_party/). It loads a package from testdata/src by
 // import path, type-checks it against stub dependencies in the same tree
-// (falling back to the source importer for the standard library), runs one
-// analyzer, and compares the diagnostics against `// want "substr"`
-// comments: every diagnostic must be matched by a want comment on its
-// line, and every want comment must be matched by a diagnostic. A want
-// comment may carry several quoted substrings when one line produces
-// several diagnostics. Matching is substring, not regexp.
+// (falling back to the source importer for the standard library), runs an
+// analyzer together with its full Requires closure, and compares the
+// diagnostics against `// want "substr"` comments: every diagnostic must
+// be matched by a want comment on its line, and every want comment must be
+// matched by a diagnostic. A want comment may carry several quoted
+// substrings when one line produces several diagnostics. Matching is
+// substring, not regexp.
+//
+// Facts: the harness keeps one shared in-memory fact store. Before an
+// analyzer runs on a package, every fact-producing analyzer in its
+// Requires closure is first run over the package's testdata imports
+// (recursively, dependencies before dependents), so object and package
+// facts flow across stub package boundaries exactly as they do across
+// .vetx files under the real vet driver.
 
 import (
 	"fmt"
@@ -20,6 +28,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -27,9 +36,12 @@ import (
 	"testing"
 
 	"golang.org/x/tools/go/analysis"
-	"golang.org/x/tools/go/analysis/passes/inspect"
-	"golang.org/x/tools/go/ast/inspector"
 )
+
+// Fixture packages live under testdata/src with bare import paths, so widen
+// the first-party gate that normally restricts fact computation to the crew
+// module.
+func init() { factsAllPackages = true }
 
 // tdImporter resolves import paths from testdata/src first (so stub
 // packages can impersonate real module paths like crew/internal/transport)
@@ -39,6 +51,10 @@ type tdImporter struct {
 	srcDir string
 	std    types.Importer
 	pkgs   map[string]*tdPackage
+
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+	runs     map[runKey]*runEntry
 }
 
 type tdPackage struct {
@@ -46,6 +62,27 @@ type tdPackage struct {
 	files []*ast.File
 	info  *types.Info
 	err   error
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+type runKey struct {
+	a    *analysis.Analyzer
+	path string
+}
+
+type runEntry struct {
+	result any
+	diags  []analysis.Diagnostic
+	err    error
 }
 
 var (
@@ -57,10 +94,13 @@ func testdataImporter(t *testing.T) *tdImporter {
 	tdOnce.Do(func() {
 		fset := token.NewFileSet()
 		tdImp = &tdImporter{
-			fset:   fset,
-			srcDir: filepath.Join("testdata", "src"),
-			std:    importer.ForCompiler(fset, "source", nil),
-			pkgs:   map[string]*tdPackage{},
+			fset:     fset,
+			srcDir:   filepath.Join("testdata", "src"),
+			std:      importer.ForCompiler(fset, "source", nil),
+			pkgs:     map[string]*tdPackage{},
+			objFacts: map[objFactKey]analysis.Fact{},
+			pkgFacts: map[pkgFactKey]analysis.Fact{},
+			runs:     map[runKey]*runEntry{},
 		}
 	})
 	return tdImp
@@ -116,20 +156,79 @@ func (im *tdImporter) load(path string) *tdPackage {
 	return p
 }
 
-var wantRE = regexp.MustCompile(`//\s*want((?:\s+"[^"]*")+)`)
-var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+// isTestdata reports whether the loaded package came from testdata/src
+// (rather than the standard library).
+func (im *tdImporter) isTestdata(path string) bool {
+	p, ok := im.pkgs[path]
+	return ok && len(p.files) > 0
+}
 
-// runLintTest loads testdata/src/<pkgPath>, runs the analyzer, and checks
-// diagnostics against want comments.
-func runLintTest(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+// factProducers returns the analyzers in a's Requires closure (including a
+// itself) that declare fact types, in dependency order.
+func factProducers(a *analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{}
+	var walk func(x *analysis.Analyzer)
+	walk = func(x *analysis.Analyzer) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, r := range x.Requires {
+			walk(r)
+		}
+		if len(x.FactTypes) > 0 {
+			out = append(out, x)
+		}
+	}
+	walk(a)
+	return out
+}
+
+// exec runs analyzer a over testdata package path, memoized. The full
+// Requires closure runs first on the same package, and every
+// fact-producing analyzer in the closure runs over the package's testdata
+// imports (recursively) so imported facts are in the store.
+func (im *tdImporter) exec(t *testing.T, a *analysis.Analyzer, path string) *runEntry {
 	t.Helper()
-	im := testdataImporter(t)
-	p := im.load(pkgPath)
+	key := runKey{a, path}
+	if e, ok := im.runs[key]; ok {
+		return e
+	}
+	e := &runEntry{}
+	im.runs[key] = e
+
+	p := im.load(path)
 	if p.err != nil {
-		t.Fatalf("loading %s: %v", pkgPath, p.err)
+		e.err = fmt.Errorf("loading %s: %w", path, p.err)
+		return e
 	}
 
-	var diags []analysis.Diagnostic
+	// Dependencies' facts first: run the closure's fact producers over the
+	// testdata imports (their own imports recurse through exec).
+	for _, imp := range p.pkg.Imports() {
+		if !im.isTestdata(imp.Path()) {
+			continue
+		}
+		for _, fa := range factProducers(a) {
+			if dep := im.exec(t, fa, imp.Path()); dep.err != nil {
+				e.err = dep.err
+				return e
+			}
+		}
+	}
+
+	// Required analyzers on this package.
+	results := map[*analysis.Analyzer]any{}
+	for _, r := range a.Requires {
+		dep := im.exec(t, r, path)
+		if dep.err != nil {
+			e.err = dep.err
+			return e
+		}
+		results[r] = dep.result
+	}
+
 	pass := &analysis.Pass{
 		Analyzer:   a,
 		Fset:       im.fset,
@@ -137,15 +236,64 @@ func runLintTest(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 		Pkg:        p.pkg,
 		TypesInfo:  p.info,
 		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf: map[*analysis.Analyzer]any{
-			inspect.Analyzer: inspector.New(p.files),
+		ResultOf:   results,
+		Report:     func(d analysis.Diagnostic) { e.diags = append(e.diags, d) },
+		ReadFile:   os.ReadFile,
+
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return im.getFact(objFactKey{obj, reflect.TypeOf(fact)}, fact)
 		},
-		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
-		ReadFile: os.ReadFile,
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			im.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return im.getPkgFact(pkgFactKey{pkg, reflect.TypeOf(fact)}, fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			im.pkgFacts[pkgFactKey{p.pkg, reflect.TypeOf(fact)}] = fact
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	e.result, e.err = a.Run(pass)
+	if e.err != nil {
+		e.err = fmt.Errorf("%s on %s: %w", a.Name, path, e.err)
 	}
+	return e
+}
+
+func (im *tdImporter) getFact(k objFactKey, out analysis.Fact) bool {
+	stored, ok := im.objFacts[k]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(out).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (im *tdImporter) getPkgFact(k pkgFactKey, out analysis.Fact) bool {
+	stored, ok := im.pkgFacts[k]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(out).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"[^"]*")+)`)
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+// runLintTest loads testdata/src/<pkgPath>, runs the analyzer (and its
+// Requires closure, with facts), and checks diagnostics against want
+// comments.
+func runLintTest(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	im := testdataImporter(t)
+	e := im.exec(t, a, pkgPath)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	p := im.load(pkgPath)
 
 	type lineKey struct {
 		file string
@@ -168,7 +316,7 @@ func runLintTest(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 		}
 	}
 
-	for _, d := range diags {
+	for _, d := range e.diags {
 		pos := im.fset.Position(d.Pos)
 		k := lineKey{pos.Filename, pos.Line}
 		matched := -1

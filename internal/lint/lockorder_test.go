@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrder(t *testing.T) {
+	runLintTest(t, LockOrder, "lockorder_a")
+}

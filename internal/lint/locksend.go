@@ -11,45 +11,39 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-// LockSend reports channel operations and known-blocking calls performed
-// while a sync.Mutex/RWMutex is held in the same function body. The
-// itable/store shard locks and the engine/agent command-queue locks are
-// leaf locks on hot paths: anything that can park the goroutine while one
-// is held (a channel send to a full/unbuffered channel, a receive, a
-// select without default, Quiesce/AwaitStall/WaitGroup.Wait, time.Sleep)
-// turns a bounded critical section into a potential deadlock — the pump
-// that would drain the channel may itself need the lock.
+// LockSend reports channel operations and blocking calls performed while a
+// sync.Mutex/RWMutex is held in the same function body. The itable/store
+// shard locks and the engine/agent command-queue locks are leaf locks on
+// hot paths: anything that can park the goroutine while one is held (a
+// channel send to a full/unbuffered channel, a receive, a select without
+// default, a call that transitively reaches any of those) turns a bounded
+// critical section into a potential deadlock — the pump that would drain
+// the channel may itself need the lock.
+//
+// Whether a call blocks comes from the summary fact layer: a function that
+// transitively performs a channel operation, calls a blocking root
+// (time.Sleep, WaitGroup.Wait, Cond.Wait), or is annotated //crew:blocks
+// carries a "may block" fact, across package boundaries and through
+// interface dispatch (transport.Link.Deliver is seeded). No per-callee
+// table is maintained here.
 //
 // The analysis is lexical and per-function: a Lock() opens a held region
 // that closes at the next positional Unlock() of the same mutex expression
 // (or at the end of the function for a deferred or missing Unlock).
-// Cross-function lock holding is not modeled. Silence deliberate cases
+// Cross-function lock holding is not modeled by this analyzer (lockorder
+// covers cross-function acquisition ordering). Silence deliberate cases
 // with //crew:allow locksend <reason>.
 var LockSend = &analysis.Analyzer{
 	Name:     "locksend",
 	Doc:      "forbid channel ops and blocking calls while a mutex is held in the same function",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Summaries},
 	Run:      runLockSend,
-}
-
-// lockBlockingCalls are calls that can park the goroutine indefinitely.
-var lockBlockingCalls = map[methodKey]bool{
-	{pkg: "sync", recv: "WaitGroup", name: "Wait"}:                true,
-	{pkg: "time", name: "Sleep"}:                                  true,
-	{pkg: transportPath, recv: "Network", name: "Quiesce"}:        true,
-	{pkg: transportPath, recv: "Network", name: "AwaitStall"}:     true,
-	{pkg: "crew/internal/central", recv: "Engine", name: "Do"}:    true,
-	{pkg: "crew/internal/distributed", recv: "Agent", name: "Do"}: true,
-	// Wire primitives park the goroutine on a socket or a peer's consume
-	// loop: a delivery can wait out a whole crash/recover cycle, and
-	// Serve/WaitConnected block for the lifetime of a connection.
-	{pkg: transportPath, recv: "ChildConn", name: "Serve"}:         true,
-	{pkg: transportPath, recv: "RemoteHub", name: "WaitConnected"}: true,
 }
 
 // lockEvent is one Lock/Unlock call inside a function.
 type lockEvent struct {
 	key      string // canonical mutex expression, e.g. "s.mu"
+	class    string // cross-function mutex identity, e.g. "crew/internal/itable.mapShard.mu"
 	read     bool   // RLock/RUnlock pairing
 	pos      token.Pos
 	unlock   bool
@@ -62,8 +56,19 @@ type blockEvent struct {
 	what string
 }
 
+// lockInterval is one lexical held region of a mutex: from the acquisition
+// to the next positional unlock of the same expression (or the end of the
+// function for deferred/missing unlocks).
+type lockInterval struct {
+	key      string
+	class    string
+	read     bool
+	from, to token.Pos
+}
+
 func runLockSend(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[Summaries].(*SummaryIndex)
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 		var body *ast.BlockStmt
 		switch f := n.(type) {
@@ -73,16 +78,15 @@ func runLockSend(pass *analysis.Pass) (any, error) {
 			body = f.Body
 		}
 		if body != nil {
-			checkLockRegions(pass, body)
+			checkLockRegions(pass, ix, body)
 		}
 	})
 	return nil, nil
 }
 
-func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
-	var locks []lockEvent
-	var blocks []blockEvent
-
+// collectLockEvents gathers the Lock/Unlock events and blocking operations
+// of one function body (excluding nested function literals).
+func collectLockEvents(pass *analysis.Pass, ix *SummaryIndex, body *ast.BlockStmt) (locks []lockEvent, blocks []blockEvent) {
 	// nonBlocking collects the source ranges of comm clauses of selects
 	// WITH a default clause: channel ops there never block.
 	type posRange struct{ from, to token.Pos }
@@ -95,11 +99,16 @@ func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		return false
 	}
+	goCalls := map[*ast.CallExpr]bool{}
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.FuncLit:
 			return false // nested functions get their own region check
+		case *ast.GoStmt:
+			// The spawned call runs on its own goroutine with its own
+			// stack; it neither blocks the spawner nor holds its locks.
+			goCalls[st.Call] = true
 		case *ast.DeferStmt:
 			if ev, ok := lockEventOf(pass, st.Call); ok && ev.unlock {
 				ev.deferred = true
@@ -137,48 +146,61 @@ func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
 				blocks = append(blocks, blockEvent{st.Pos(), "range over channel"})
 			}
 		case *ast.CallExpr:
+			if goCalls[st] {
+				return true
+			}
 			if ev, ok := lockEventOf(pass, st); ok {
 				locks = append(locks, ev)
 				return true
 			}
-			if k, ok := calleeKey(pass.TypesInfo, st); ok && lockBlockingCalls[k] {
+			if k, ok := calleeKey(pass.TypesInfo, st); ok && blockingRoots[k] {
 				what := k.name
 				if k.recv != "" {
 					what = k.recv + "." + what
 				}
 				blocks = append(blocks, blockEvent{st.Pos(), what})
-			} else if !ok && wireDeliverCall(pass, st) {
-				// Interface dispatch: calleeKey cannot resolve Link.Deliver,
-				// but a backend delivery can block on a socket or a down peer.
-				blocks = append(blocks, blockEvent{st.Pos(), "Link.Deliver"})
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, st); callee != nil {
+				if ix.FactsOf(callee).Blocks {
+					blocks = append(blocks, blockEvent{st.Pos(), funcDisplayName(callee)})
+				}
 			}
 		}
 		return true
 	})
-	if len(locks) == 0 || len(blocks) == 0 {
-		return
-	}
+	return locks, blocks
+}
 
+// heldIntervals turns a lock-event list into the lexical held regions of
+// the function: each acquisition opens a region closed by the next
+// positional unlock of the same expression and mode, or by end.
+func heldIntervals(locks []lockEvent, end token.Pos) []lockInterval {
 	sort.Slice(locks, func(i, j int) bool { return locks[i].pos < locks[j].pos })
-	type interval struct {
-		key      string
-		from, to token.Pos
-	}
-	var held []interval
+	var held []lockInterval
 	for i, ev := range locks {
 		if ev.unlock {
 			continue
 		}
-		end := body.End()
+		to := end
 		for j := i + 1; j < len(locks); j++ {
 			u := locks[j]
 			if u.unlock && !u.deferred && u.key == ev.key && u.read == ev.read {
-				end = u.pos
+				to = u.pos
 				break
 			}
 		}
-		held = append(held, interval{ev.key, ev.pos, end})
+		held = append(held, lockInterval{key: ev.key, class: ev.class, read: ev.read, from: ev.pos, to: to})
 	}
+	return held
+}
+
+func checkLockRegions(pass *analysis.Pass, ix *SummaryIndex, body *ast.BlockStmt) {
+	locks, blocks := collectLockEvents(pass, ix, body)
+	if len(locks) == 0 || len(blocks) == 0 {
+		return
+	}
+	held := heldIntervals(locks, body.End())
 	for _, b := range blocks {
 		for _, iv := range held {
 			if b.pos > iv.from && b.pos < iv.to {
@@ -192,7 +214,8 @@ func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt) {
 }
 
 // lockEventOf classifies a call as a Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex or sync.RWMutex, returning the canonical receiver expression.
+// sync.Mutex or sync.RWMutex, returning the canonical receiver expression
+// and the cross-function lock class.
 func lockEventOf(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -218,5 +241,36 @@ func lockEventOf(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
 	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
 		return lockEvent{}, false
 	}
-	return lockEvent{key: types.ExprString(sel.X), read: read, pos: call.Pos(), unlock: unlock}, true
+	return lockEvent{
+		key:    types.ExprString(sel.X),
+		class:  lockClassOf(pass, sel.X),
+		read:   read,
+		pos:    call.Pos(),
+		unlock: unlock,
+	}, true
+}
+
+// lockClassOf names the cross-function identity of a mutex expression:
+// "pkgpath.Type.field" for a mutex field (whatever expression reaches it),
+// "pkgpath.var" for a package-level mutex, and a local fallback otherwise.
+// Two acquisitions of the same class in different functions are treated as
+// the same lock by lockorder; generic instantiations share one class.
+func lockClassOf(pass *analysis.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+			if n := namedOrPointerTo(t); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(x); obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + x.Name
+			}
+			return pass.Pkg.Path() + ".local." + x.Name
+		}
+	}
+	return pass.Pkg.Path() + "." + types.ExprString(e)
 }

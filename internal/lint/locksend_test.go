@@ -5,3 +5,9 @@ import "testing"
 func TestLockSend(t *testing.T) {
 	runLintTest(t, LockSend, "locksend_a")
 }
+
+func TestLockSendInterprocedural(t *testing.T) {
+	// Blocking derived transitively from summaries rather than a
+	// hand-maintained callee table.
+	runLintTest(t, LockSend, "locksend_b")
+}

@@ -1,0 +1,61 @@
+// Package chargedsend_b seeds interprocedural chargedsend violations: the
+// charging obligation must follow Message parameters through wrappers,
+// within and across packages, and raw-wire taint must propagate through
+// unannotated wrappers.
+package chargedsend_b
+
+import (
+	"crew/internal/transport"
+	"sendutil"
+)
+
+const mech = 2
+
+// relay forwards its own parameter into a send without charging it: the
+// obligation shifts to relay's callers via the SendsParam fact.
+func relay(h *transport.Handle, m transport.Message) {
+	h.Send(m) // ok: forwards own parameter, callers are checked
+}
+
+// relayCharged charges locally, so its callers owe nothing.
+func relayCharged(h *transport.Handle, m transport.Message) {
+	m.Mechanism = mech
+	h.Send(m) // ok: charged in this function
+}
+
+func callsRelay(h *transport.Handle) {
+	relay(h, transport.Message{To: 1})                  // want "uncharged transport send: relay"
+	relay(h, transport.Message{To: 1, Mechanism: mech}) // ok: literal charges
+	relayCharged(h, transport.Message{To: 1})           // ok: callee charges
+}
+
+// twoHops forwards through relay: the fact propagates another level.
+func twoHops(h *transport.Handle, m transport.Message) {
+	relay(h, m) // ok: forwards own parameter again
+}
+
+func callsTwoHops(h *transport.Handle) {
+	twoHops(h, transport.Message{To: 2}) // want "uncharged transport send: twoHops"
+}
+
+func crossPackage(h *transport.Handle) {
+	sendutil.Forward(h, transport.Message{To: 3})                  // want "uncharged transport send: Forward"
+	sendutil.Forward(h, transport.Message{To: 3, Mechanism: mech}) // ok
+}
+
+// rawWrapper reaches Link.Deliver without an annotation, so it inherits
+// the below-the-front-half taint.
+func rawWrapper(l transport.Link, m transport.Message) error {
+	return l.Deliver(m) // want "uncharged transport send: Link.Deliver bypasses"
+}
+
+// deliverAll is an annotated funnel: the taint stops here.
+func deliverAll(l transport.Link, m transport.Message) {
+	//crew:nocharge fixture funnel relays pre-charged traffic
+	_ = l.Deliver(m)
+}
+
+func callsRaw(l transport.Link) {
+	_ = rawWrapper(l, transport.Message{})  // want "uncharged transport send: rawWrapper bypasses"
+	deliverAll(l, transport.Message{})      // ok: annotated funnel
+}

@@ -1,6 +1,8 @@
 // Package transport is a minimal stub of crew/internal/transport for the
 // analyzer tests: the method sets and the Mechanism field name must match
-// the real package, the behavior is irrelevant.
+// the real package, the behavior is irrelevant. Methods whose real
+// implementations park the goroutine carry //crew:blocks annotations, the
+// same way the real package declares behavior the analysis cannot see.
 package transport
 
 type Message struct {
@@ -17,8 +19,12 @@ func (h *Handle) SendBatch(n int) {}
 type Network struct{}
 
 func (n *Network) Send(m Message) {}
-func (n *Network) Quiesce()       {}
-func (n *Network) AwaitStall()    {}
+
+//crew:blocks
+func (n *Network) Quiesce() {}
+
+//crew:blocks
+func (n *Network) AwaitStall() {}
 
 type Batcher struct{}
 
@@ -32,9 +38,21 @@ type Link interface {
 
 type ChildConn struct{}
 
-func (c *ChildConn) SendMessage(m Message) error         { return nil }
+func (c *ChildConn) SendMessage(m Message) error { return nil }
+
+//crew:blocks
 func (c *ChildConn) Serve(deliver func(m Message)) error { return nil }
 
 type RemoteHub struct{}
 
+//crew:blocks
 func (h *RemoteHub) WaitConnected(names ...string) error { return nil }
+
+// NewNetwork returns an empty stub network.
+func NewNetwork() *Network { return &Network{} }
+
+// Deprecated: use NewNetwork.
+func New() *Network { return NewNetwork() }
+
+// RegisterPayload mirrors the real payload registry entry point.
+func RegisterPayload(prototypes ...any) {}

@@ -1,0 +1,26 @@
+// Package deprecated_a seeds deprecated-call violations against the stub
+// transport package (cross-package, via the Deprecated summary fact) and a
+// local deprecated function.
+package deprecated_a
+
+import "crew/internal/transport"
+
+func fresh() *transport.Network {
+	return transport.NewNetwork() // ok
+}
+
+func stale() *transport.Network {
+	return transport.New() // want "call to deprecated function transport.New"
+}
+
+func allowedStale() *transport.Network {
+	//crew:allow deprecated exercising the legacy shim on purpose
+	return transport.New()
+}
+
+// Deprecated: use fresh.
+func localOld() {}
+
+func callsLocalOld() {
+	localOld() // want "call to deprecated function localOld"
+}

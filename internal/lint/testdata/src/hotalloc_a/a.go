@@ -1,0 +1,121 @@
+// Package hotalloc_a seeds hotalloc violations: direct allocation sites in
+// //crew:hotpath functions, and calls to functions whose summary says they
+// may allocate.
+package hotalloc_a
+
+import "fmt"
+
+type table struct {
+	m    map[string]int
+	vals []int
+}
+
+//crew:hotpath
+func (t *table) hotDirect() string {
+	for k := range t.m { // want "map iteration"
+		_ = k
+	}
+	return fmt.Sprintf("%d", len(t.vals)) // want "call to fmt.Sprintf"
+}
+
+func consume(v any) {}
+
+//crew:hotpath
+func hotBoxing(n int) {
+	consume(n) // want "interface boxing"
+}
+
+//crew:hotpath
+func hotBoxingPointer(t *table) {
+	consume(t) // ok: pointers convert to interface without allocating
+}
+
+//crew:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want "capturing closure"
+}
+
+//crew:hotpath
+func hotPlainFunc() func() int {
+	return func() int { return 7 } // ok: captures nothing
+}
+
+//crew:hotpath
+func hotMake() []int {
+	return make([]int, 4) // want "make"
+}
+
+//crew:hotpath
+func hotLiteral() *table {
+	return &table{} // want "heap-allocated composite literal"
+}
+
+//crew:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//crew:hotpath
+func hotSpawn(t *table) {
+	go hotMake() // want "goroutine spawn"
+}
+
+//crew:hotpath
+func hotAppend(t *table, v int) {
+	t.vals = append(t.vals, v) // ok: amortized growth is budgeted dynamically
+}
+
+// slowHelper allocates; its summary taints hot callers.
+func slowHelper() string {
+	return fmt.Sprintf("x")
+}
+
+//crew:hotpath
+func hotCallsSlow() {
+	_ = slowHelper() // want "call to slowHelper, which may allocate"
+}
+
+// coldWithAllowance allocates only on an annotated error branch, so its
+// summary stays clean.
+func coldWithAllowance(fail bool) error {
+	if fail {
+		//crew:allow hotalloc error path runs once per failure
+		return fmt.Errorf("failed")
+	}
+	return nil
+}
+
+//crew:hotpath
+func hotCallsAnnotated(fail bool) error {
+	return coldWithAllowance(fail) // ok: exempted site does not poison the summary
+}
+
+//crew:hotpath
+func hotAllowedSite() []int {
+	//crew:allow hotalloc one-time warm-up growth
+	return make([]int, 8)
+}
+
+// coldEdge calls an allocating helper on an annotated cold branch; the
+// exempted call edge does not taint its summary, so hot callers stay clean.
+func coldEdge(fail bool) string {
+	if fail {
+		//crew:allow hotalloc failure path only
+		return slowHelper()
+	}
+	return ""
+}
+
+//crew:hotpath
+func hotCallsColdEdge() string {
+	return coldEdge(false) // ok: the allocating edge inside coldEdge is exempted
+}
+
+// Type-parameter moves are stenciled per shape, not interface conversions.
+type genericMap[V any] struct{ m map[string]V }
+
+//crew:hotpath
+func getGeneric[V any](g *genericMap[V], k string) (V, bool) {
+	v, ok := g.m[k] // ok: comma-ok read of a type-parameter value
+	return v, ok
+}

@@ -1,0 +1,19 @@
+// Package lockorder_dep is a fixture dependency: it establishes a
+// First→Second acquisition ordering that the importing package then
+// contradicts, so the lockorder tests exercise the cross-package cumulative
+// LockGraph fact.
+package lockorder_dep
+
+import "sync"
+
+type First struct{ Mu sync.Mutex }
+
+type Second struct{ Mu sync.Mutex }
+
+// Nested acquires Second.Mu while holding First.Mu.
+func Nested(f *First, s *Second) {
+	f.Mu.Lock()
+	s.Mu.Lock()
+	s.Mu.Unlock()
+	f.Mu.Unlock()
+}

@@ -1,0 +1,62 @@
+// Package locksend_b seeds interprocedural locksend violations: calls that
+// only block transitively — through a local helper, through two hops, or
+// through a //crew:blocks-annotated primitive in another package — while a
+// mutex is held.
+package locksend_b
+
+import (
+	"sync"
+
+	"crew/internal/transport"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// waitForSignal parks on the channel; the summary layer derives the
+// "may block" fact from the receive.
+func (b *box) waitForSignal() { <-b.ch }
+
+// hop blocks only through waitForSignal.
+func (b *box) hop() { b.waitForSignal() }
+
+func (b *box) indirect() {
+	b.mu.Lock()
+	b.waitForSignal() // want "box.waitForSignal while b.mu is locked"
+	b.mu.Unlock()
+}
+
+func (b *box) twoHops() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hop() // want "box.hop while b.mu is locked"
+}
+
+func (b *box) annotatedPrimitive(c *transport.ChildConn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.Serve(nil) // want "ChildConn.Serve while b.mu is locked"
+}
+
+func (b *box) afterUnlock() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.waitForSignal() // ok: lock released
+}
+
+func (b *box) spawned() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go b.waitForSignal() // ok: blocks its own goroutine, not the holder
+}
+
+// nonBlockingHelper never parks: no fact, no report.
+func (b *box) nonBlockingHelper() int { return 1 }
+
+func (b *box) cleanCall() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nonBlockingHelper() // ok
+}

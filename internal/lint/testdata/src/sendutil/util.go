@@ -1,0 +1,12 @@
+// Package sendutil is a fixture dependency: an uncharged forwarding
+// wrapper in another package, so the chargedsend tests exercise the
+// cross-package SendsParam fact.
+package sendutil
+
+import "crew/internal/transport"
+
+// Forward relays m to h without charging it: callers must set the
+// Mechanism (the summary layer exports a SendsParam fact for this).
+func Forward(h *transport.Handle, m transport.Message) {
+	h.Send(m)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestWireFrame(t *testing.T) {
+	runLintTest(t, WireFrame, "wireframe_a")
+}

@@ -1,0 +1,35 @@
+package rules
+
+import (
+	"testing"
+
+	"crew/internal/event"
+)
+
+// TestFireOnAllocBudget guards the reactive dispatch hot path the hotalloc
+// analyzer gates (//crew:hotpath on FireOn/fireArmed): a steady-state FireOn
+// that completes no rule — the overwhelmingly common case on a busy agent —
+// must not allocate. Rules waiting on other events stay untouched, and the
+// armed agenda drains without building anything.
+func TestFireOnAllocBudget(t *testing.T) {
+	e := NewEngine()
+	tab := event.NewTable()
+	e.Bind(tab)
+	// A realistic standing rule set: conjunctive rules none of which the
+	// posted event completes.
+	for _, id := range []string{"r1", "r2", "r3"} {
+		e.InstallRule(execRule(id, id+".a", id+".b"))
+	}
+	// Warm up: the first Post inserts the event's table entry.
+	if _, err := e.FireOn("tick", nil); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := e.FireOn("tick", nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("FireOn allocates %.2f/op on the no-fire path, budget 0", avg)
+	}
+}

@@ -438,6 +438,7 @@ func (e *Engine) Evaluate(tab *event.Table, env expr.Env) ([]*Rule, error) {
 	if tab != nil && tab == e.tab && !scanOnly.Load() {
 		return e.fireArmed(env)
 	}
+	//crew:allow hotalloc scan fallback serves foreign/unbound tables, never the bound hot path
 	return e.EvaluateScan(tab, env)
 }
 
@@ -445,8 +446,11 @@ func (e *Engine) Evaluate(tab *event.Table, env expr.Env) ([]*Rule, error) {
 // makes fireable: the reactive AddEvent+Evaluate composition. Only rules
 // subscribed to the event (plus already-armed rules awaiting data changes)
 // are examined.
+//
+//crew:hotpath
 func (e *Engine) FireOn(name string, env expr.Env) ([]*Rule, error) {
 	if e.tab == nil {
+		//crew:allow hotalloc misconfiguration error, reported once
 		return nil, fmt.Errorf("rules: FireOn(%q): engine is not bound to an event table", name)
 	}
 	e.tab.Post(name)
@@ -456,6 +460,8 @@ func (e *Engine) FireOn(name string, env expr.Env) ([]*Rule, error) {
 // fireArmed drains the agenda in insertion order. Rules whose precondition
 // is false (or errors) stay armed for the next round; fired and stale
 // entries leave the agenda.
+//
+//crew:hotpath
 func (e *Engine) fireArmed(env expr.Env) ([]*Rule, error) {
 	if len(e.armed) == 0 {
 		return nil, nil
@@ -476,9 +482,11 @@ func (e *Engine) fireArmed(env expr.Env) ([]*Rule, error) {
 			continue
 		}
 		if r.Precond != nil {
+			//crew:allow hotalloc preconditions are rare on the armed agenda; evaluation cost is theirs
 			ok, err := r.Precond.EvalBool(env)
 			if err != nil {
 				if firstErr == nil {
+					//crew:allow hotalloc error path, at most once per round
 					firstErr = fmt.Errorf("rules: rule %s precondition: %w", r.ID, err)
 				}
 				kept = append(kept, r)

@@ -33,7 +33,7 @@ func drain(ep *Endpoint, logical *atomic.Int64) {
 // TestSendAllocBudget guards the plain per-message send path: a steady-state
 // Handle.Send must stay within sendAllocBudget allocations.
 func TestSendAllocBudget(t *testing.T) {
-	net := New(nil)
+	net := NewNetwork(NetworkConfig{})
 	defer net.Close()
 	ep := net.MustRegister("rx")
 	var logical atomic.Int64
@@ -64,7 +64,7 @@ func TestSendAllocBudget(t *testing.T) {
 // logical message (the envelope comes from the pool, the batcher's buffers
 // are reused across turns, and the whole burst is one physical delivery).
 func TestEnvelopeBatchAllocBudget(t *testing.T) {
-	net := New(nil)
+	net := NewNetwork(NetworkConfig{})
 	defer net.Close()
 	ep := net.MustRegister("rx")
 	var logical atomic.Int64
@@ -96,5 +96,21 @@ func TestEnvelopeBatchAllocBudget(t *testing.T) {
 	perMsg := avg / burst
 	if perMsg > batchAllocBudget {
 		t.Errorf("batched send allocates %.2f/logical message (%.1f/burst), budget %.1f", perMsg, avg, batchAllocBudget)
+	}
+}
+
+// TestFrameEncodeAllocBudget guards the frame encoders the hotalloc analyzer
+// gates (//crew:hotpath on appendFrame/appendString): encoding into a warm
+// scratch buffer — the shape every writer uses via scratch[:0] — must not
+// allocate.
+func TestFrameEncodeAllocBudget(t *testing.T) {
+	body := []byte("payload-bytes")
+	buf := appendString(appendFrame(nil, frameMsg, body), "node-name") // warm capacity
+	avg := testing.AllocsPerRun(500, func() {
+		buf = appendFrame(buf[:0], frameMsg, body)
+		buf = appendString(buf, "node-name")
+	})
+	if avg > 0 {
+		t.Errorf("frame encode allocates %.2f/op into a warm buffer, budget 0", avg)
 	}
 }

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"crew/internal/cerrors"
+)
+
+// TestWireErrorClassification drives the wire failure modes a multi-process
+// supervisor must tell apart — dial refused, truncated frame, peer killed
+// mid-conversation, protocol desync — and asserts each classifies to its
+// documented cerrors code and phase. The assertions switch on CodeOf the way
+// real callers do: never string matching, never errors.Is on wrapped causes.
+func TestWireErrorClassification(t *testing.T) {
+	t.Run("dial refused", func(t *testing.T) {
+		// Bind a listener to reserve an address, then close it so the dial
+		// lands on a dead port.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		_, err = DialHub("tcp", addr, "a")
+		if err == nil {
+			t.Fatal("DialHub to a closed listener succeeded")
+		}
+		switch cerrors.CodeOf(err) {
+		case cerrors.CodeDialRefused:
+		default:
+			t.Fatalf("CodeOf = %q, want CodeDialRefused (err=%v)", cerrors.CodeOf(err), err)
+		}
+		if cerrors.PhaseOf(err) != cerrors.PhaseDial {
+			t.Fatalf("PhaseOf = %q, want PhaseDial", cerrors.PhaseOf(err))
+		}
+	})
+
+	t.Run("frame truncated", func(t *testing.T) {
+		// A header that promises 100 body bytes over a stream holding 3.
+		raw := appendFrame(nil, frameMsg, bytes.Repeat([]byte{7}, 99))
+		_, _, _, err := readFrame(bytes.NewReader(raw[:8]), nil)
+		if err == nil {
+			t.Fatal("readFrame on a truncated stream succeeded")
+		}
+		switch cerrors.CodeOf(err) {
+		case cerrors.CodeFrameTruncated:
+		default:
+			t.Fatalf("CodeOf = %q, want CodeFrameTruncated (err=%v)", cerrors.CodeOf(err), err)
+		}
+		if cerrors.PhaseOf(err) != cerrors.PhaseDecode {
+			t.Fatalf("PhaseOf = %q, want PhaseDecode", cerrors.PhaseOf(err))
+		}
+	})
+
+	t.Run("peer killed", func(t *testing.T) {
+		// A child claims its node, then its process dies (the connection
+		// drops and the supervisor marks the node crashed). A subsequent
+		// Deliver must fail fast with the peer-crashed code rather than
+		// block waiting for a claim that will not come.
+		n, hub := newHub(t)
+		if err := hub.RegisterRemote("a"); err != nil {
+			t.Fatal(err)
+		}
+		child := dialChild(t, "unix", hub.Addr(), "a")
+		waitCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hub.WaitConnected(waitCtx, "a"); err != nil {
+			t.Fatal(err)
+		}
+		child.conn.Close() // the SIGKILL analog: the socket dies abruptly
+		<-child.done
+		n.Crash("a")
+
+		hub.mu.Lock()
+		p := hub.peers["a"]
+		hub.mu.Unlock()
+		// The connection teardown races the Close above; give the hub's
+		// reader a moment to detach before asserting.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			err := p.Deliver(Message{From: "b", To: "a", Kind: "k"})
+			if err == nil {
+				if time.Now().After(deadline) {
+					t.Fatal("Deliver kept succeeding after the peer died")
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			switch cerrors.CodeOf(err) {
+			case cerrors.CodePeerCrashed:
+			default:
+				t.Fatalf("CodeOf = %q, want CodePeerCrashed (err=%v)", cerrors.CodeOf(err), err)
+			}
+			if cerrors.PhaseOf(err) != cerrors.PhaseDeliver {
+				t.Fatalf("PhaseOf = %q, want PhaseDeliver", cerrors.PhaseOf(err))
+			}
+			break
+		}
+	})
+
+	t.Run("protocol desync", func(t *testing.T) {
+		// The hub never sends HELLO downstream; a child receiving one has
+		// lost framing and must reject the stream as malformed instead of
+		// silently dropping the frame (regression test for the Serve
+		// default arm).
+		client, server := net.Pipe()
+		defer server.Close()
+		c := &ChildConn{conn: client, name: "a", alive: make(map[string]bool)}
+		done := make(chan error, 1)
+		go func() {
+			done <- c.Serve(func(Message) error { return nil }, nil)
+		}()
+		if _, err := server.Write(appendFrame(nil, frameHello, appendString(nil, "x"))); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Serve treated an unexpected frame as a clean close")
+			}
+			switch cerrors.CodeOf(err) {
+			case cerrors.CodeFrameMalformed:
+			default:
+				t.Fatalf("CodeOf = %q, want CodeFrameMalformed (err=%v)", cerrors.CodeOf(err), err)
+			}
+			if cerrors.PhaseOf(err) != cerrors.PhaseDecode {
+				t.Fatalf("PhaseOf = %q, want PhaseDecode", cerrors.PhaseOf(err))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Serve did not reject the unexpected frame")
+		}
+	})
+}

@@ -45,6 +45,7 @@ func (e *Envelope) Release() {
 // Release it); on error the envelope is released here.
 func (h *Handle) SendBatch(env *Envelope) error { return h.n.deliverBatch(h.nd, env) }
 
+//crew:hotpath
 func (n *Network) deliverBatch(nd *node, env *Envelope) error {
 	if len(env.Msgs) == 0 {
 		env.Release()
@@ -101,6 +102,8 @@ type batchDest struct {
 }
 
 // Add appends a logical message for the handle's destination.
+//
+//crew:hotpath
 func (b *Batcher) Add(h *Handle, m Message) {
 	for i := range b.dests {
 		if b.dests[i].h.nd == h.nd {

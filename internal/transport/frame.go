@@ -55,6 +55,8 @@ const (
 )
 
 // appendFrame appends one complete frame to dst.
+//
+//crew:hotpath
 func appendFrame(dst []byte, typ byte, body []byte) []byte {
 	n := len(body) + 1
 	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
@@ -90,6 +92,7 @@ func readFrame(r io.Reader, buf []byte) (typ byte, body, nextBuf []byte, err err
 	return buf[0], buf[1:], buf, nil
 }
 
+//crew:hotpath
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)

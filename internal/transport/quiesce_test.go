@@ -13,7 +13,7 @@ import (
 
 func TestHandleSend(t *testing.T) {
 	col := metrics.NewCollector()
-	n := New(col)
+	n := NewNetwork(NetworkConfig{Collector: col})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -37,7 +37,7 @@ func TestHandleSend(t *testing.T) {
 }
 
 func TestHandleAfterClose(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	n.MustRegister("b")
 	h, err := n.Handle("b")
 	if err != nil {
@@ -53,7 +53,7 @@ func TestHandleAfterClose(t *testing.T) {
 }
 
 func TestQuiesceIdleAndAfterDrain(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -97,7 +97,7 @@ func TestQuiesceIdleAndAfterDrain(t *testing.T) {
 }
 
 func TestQuiesceManualAck(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -124,7 +124,7 @@ func TestQuiesceManualAck(t *testing.T) {
 }
 
 func TestQuiesceCrashedNodeStaysBusy(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -156,7 +156,7 @@ func TestQuiesceCrashedNodeStaysBusy(t *testing.T) {
 }
 
 func TestQuiesceReleasedByClose(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	n.MustRegister("a")
 	n.MustRegister("b") // nobody reads b
 	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
@@ -183,7 +183,7 @@ func TestQuiesceReleasedByClose(t *testing.T) {
 // senders are active: the callback must be captured atomically per message
 // (no torn reads, every invocation sees a complete message).
 func TestTraceDuringTraffic(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -227,7 +227,7 @@ func TestTraceDuringTraffic(t *testing.T) {
 // receiver still observes every message exactly once in send order (the pump
 // requeues an interrupted batch at the front of the queue).
 func TestCrashMidStreamPreservesFIFO(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")

@@ -72,7 +72,7 @@ type RemoteHub struct {
 	onExec func(ExecEvent)
 	tmpDir string
 
-	mu    sync.Mutex
+	mu    sync.Mutex //crew:lockrank 20
 	peers map[string]*remotePeer
 
 	closed   atomic.Bool
@@ -331,7 +331,7 @@ type remotePeer struct {
 	// mu guards conn and serializes every write on it: deliveries, the
 	// attach-time WELCOME + unacked replay, and liveness broadcasts. The lock
 	// order is mu before nd.mu, always.
-	mu      sync.Mutex
+	mu      sync.Mutex //crew:lockrank 30
 	conn    net.Conn
 	claimed chan struct{} // closed while conn != nil; replaced on detach
 	scratch []byte
@@ -679,6 +679,12 @@ func (c *ChildConn) Serve(deliver func(Message) error, onLiveness func(name stri
 			if onLiveness != nil {
 				onLiveness(name, up)
 			}
+		default:
+			// The hub never sends HELLO, ACK or EXEC downstream; anything
+			// else is a framing desync. Rejecting loudly here beats
+			// resynchronizing on a corrupt stream.
+			c.conn.Close()
+			return cerrors.E(cerrors.CodeFrameMalformed, cerrors.PhaseDecode, cerrors.ErrWire, nil, "unexpected frame %d from hub", typ)
 		}
 	}
 }

@@ -130,7 +130,7 @@ type node struct {
 	// pump delivers through it instead of handing straight to ep.ch.
 	link Link
 
-	mu     sync.Mutex
+	mu     sync.Mutex //crew:lockrank 40
 	queue  []queued
 	notify chan struct{}
 	stop   chan struct{}
@@ -273,7 +273,7 @@ func (nd *node) consume(m Message) error {
 // Network connects named nodes.
 type Network struct {
 	// mu serializes registration and close; sends never take it.
-	mu        sync.Mutex
+	mu        sync.Mutex //crew:lockrank 10
 	nodes     atomic.Pointer[map[string]*node]
 	collector *metrics.Collector
 	// wire is the byte-transport backend; nil selects the in-process
@@ -302,7 +302,7 @@ type Network struct {
 	// transition to idle or stalled.
 	inflight atomic.Int64
 	parked   atomic.Int64
-	idleMu   sync.Mutex
+	idleMu   sync.Mutex //crew:lockrank 50
 	idleCh   chan struct{}
 }
 
@@ -317,6 +317,7 @@ type Handle struct {
 // Send enqueues a message for delivery to the handle's node and counts it.
 // The message's To field should name the handle's node; delivery goes to the
 // bound node regardless.
+//crew:hotpath
 func (h *Handle) Send(m Message) error { return h.n.deliver(h.nd, m) }
 
 // ErrUnknownNode is returned when sending to an unregistered node.
@@ -481,6 +482,7 @@ func (n *Network) Send(m Message) error {
 	return n.deliver(nd, m)
 }
 
+//crew:hotpath
 func (n *Network) deliver(nd *node, m Message) error {
 	if n.closed.Load() {
 		return ErrClosed
@@ -507,6 +509,8 @@ func (n *Network) deliver(nd *node, m Message) error {
 
 // enqueue appends one accepted physical message to the node's mailbox and
 // updates the in-flight/parked accounting.
+//
+//crew:hotpath
 func (n *Network) enqueue(nd *node, m Message, delay int) {
 	n.inflight.Add(1)
 	parkedHere := false

@@ -25,7 +25,7 @@ func recvOne(t *testing.T, ep *Endpoint) Message {
 
 func TestSendDeliver(t *testing.T) {
 	col := metrics.NewCollector()
-	n := New(col)
+	n := NewNetwork(NetworkConfig{Collector: col})
 	defer n.Close()
 	a := n.MustRegister("a")
 	_ = a
@@ -45,7 +45,7 @@ func TestSendDeliver(t *testing.T) {
 }
 
 func TestFIFOPerReceiver(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	b := n.MustRegister("b")
 	n.MustRegister("a")
@@ -62,7 +62,7 @@ func TestFIFOPerReceiver(t *testing.T) {
 }
 
 func TestSendUnknownNode(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	err := n.Send(Message{From: "a", To: "ghost"})
@@ -72,7 +72,7 @@ func TestSendUnknownNode(t *testing.T) {
 }
 
 func TestDuplicateRegister(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	if _, err := n.Register("a"); err == nil {
@@ -87,7 +87,7 @@ func TestDuplicateRegister(t *testing.T) {
 }
 
 func TestCrashQueuesAndRecoverDelivers(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -127,7 +127,7 @@ func TestCrashQueuesAndRecoverDelivers(t *testing.T) {
 }
 
 func TestCrashUnknown(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	if n.Crash("ghost") || n.Recover("ghost") || n.Alive("ghost") {
 		t.Error("operations on unknown node should be false")
@@ -138,7 +138,7 @@ func TestCrashUnknown(t *testing.T) {
 }
 
 func TestNodes(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("z")
 	n.MustRegister("a")
@@ -149,7 +149,7 @@ func TestNodes(t *testing.T) {
 }
 
 func TestCloseClosesInboxes(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	a := n.MustRegister("a")
 	n.Close()
 	select {
@@ -170,7 +170,7 @@ func TestCloseClosesInboxes(t *testing.T) {
 }
 
 func TestTrace(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	b := n.MustRegister("b")
@@ -193,7 +193,7 @@ func TestTrace(t *testing.T) {
 }
 
 func TestSendNeverBlocks(t *testing.T) {
-	n := New(nil)
+	n := NewNetwork(NetworkConfig{})
 	defer n.Close()
 	n.MustRegister("a")
 	n.MustRegister("b") // nobody reads b's inbox
@@ -216,7 +216,7 @@ func TestSendNeverBlocks(t *testing.T) {
 
 func TestConcurrentSendersCountExactly(t *testing.T) {
 	col := metrics.NewCollector()
-	n := New(col)
+	n := NewNetwork(NetworkConfig{Collector: col})
 	defer n.Close()
 	b := n.MustRegister("b")
 	const senders, per = 8, 100

@@ -207,7 +207,7 @@ func TestCrashDuringOCR(t *testing.T) {
 // the crash and never double-delivered.
 func TestCrashMidBatchParksWholeEnvelope(t *testing.T) {
 	col := metrics.NewCollector()
-	net := transport.New(col)
+	net := transport.NewNetwork(transport.NetworkConfig{Collector: col})
 	defer net.Close()
 	ep := net.MustRegister("agent")
 	ep.ManualAck()
